@@ -1,0 +1,906 @@
+//! The OCAL abstract syntax tree.
+//!
+//! OCAL is Monad Calculus on lists extended with `foldL` (paper §3). The
+//! constructs here mirror the paper exactly:
+//!
+//! * λ-abstraction and application (functions take a single, possibly
+//!   tuple-typed, argument),
+//! * tuples `⟨e₁,…,eₙ⟩` and 1-based projections `e.i`,
+//! * singleton `[e]`, empty list `[]`, list union `⊔` (concatenation),
+//! * `flatMap(f)` and `foldL(c, f)` as function-forming constructs,
+//! * the blocked functional loop `for (x [k] ← e₁) [k₂] e₂` (named
+//!   definition in the paper's Figure 2; a first-class construct here because
+//!   most transformation rules manipulate it),
+//! * named definitions (`head`, `treeFold[k]`, `unfoldR`, `mrg`, …) as
+//!   [`DefName`] references — the paper's extensibility mechanism,
+//! * sequentiality annotations `[m₁ ≻ m₂]` (rule *seq-ac*) and programmer
+//!   result-size annotations (paper §5.1).
+
+use crate::types::Type;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A block/buffer size attached to an iteration construct: either a concrete
+/// element count or a named tunable parameter (chosen later by the
+/// non-linear optimizer).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BlockSize {
+    /// A fixed number of elements.
+    Const(u64),
+    /// A named parameter, e.g. `k1`, left for the parameter optimizer.
+    Param(String),
+}
+
+impl BlockSize {
+    /// The default block size `1` (element-at-a-time).
+    pub fn one() -> BlockSize {
+        BlockSize::Const(1)
+    }
+
+    /// True if this is the constant `1`.
+    pub fn is_one(&self) -> bool {
+        matches!(self, BlockSize::Const(1))
+    }
+
+    /// The parameter name, if symbolic.
+    pub fn param_name(&self) -> Option<&str> {
+        match self {
+            BlockSize::Param(p) => Some(p),
+            BlockSize::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for BlockSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockSize::Const(n) => write!(f, "{n}"),
+            BlockSize::Param(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A sequentiality annotation `[m₁ ≻ m₂]` (paper rule *seq-ac*): all data
+/// transfers from node `from` to node `to` performed by the annotated loop
+/// happen sequentially, so the costing engine may merge their `InitCom`
+/// events into `max(1, total / min(maxSeqR, maxSeqW))`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SeqAnnot {
+    /// Source hierarchy node name.
+    pub from: String,
+    /// Destination hierarchy node name.
+    pub to: String,
+}
+
+/// Primitive functions on atomic values (paper §3: boolean connectives,
+/// equality/comparison on `D`, constant-memory arithmetic, and a hash
+/// function used by hash partitioning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PrimOp {
+    /// Structural equality `==`.
+    Eq,
+    /// Structural inequality `!=`.
+    Ne,
+    /// Less-than `<` on the ordered domain `D`.
+    Lt,
+    /// Less-or-equal `<=`.
+    Le,
+    /// Greater-than `>`.
+    Gt,
+    /// Greater-or-equal `>=`.
+    Ge,
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division (truncating; errors on zero).
+    Div,
+    /// Integer remainder (errors on zero).
+    Mod,
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+    /// Boolean negation.
+    Not,
+    /// Deterministic hash of an atomic value to a non-negative integer.
+    Hash,
+}
+
+impl PrimOp {
+    /// Number of arguments the primitive takes.
+    pub fn arity(self) -> usize {
+        match self {
+            PrimOp::Not | PrimOp::Hash => 1,
+            _ => 2,
+        }
+    }
+
+    /// Concrete-syntax spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            PrimOp::Eq => "==",
+            PrimOp::Ne => "!=",
+            PrimOp::Lt => "<",
+            PrimOp::Le => "<=",
+            PrimOp::Gt => ">",
+            PrimOp::Ge => ">=",
+            PrimOp::Add => "+",
+            PrimOp::Sub => "-",
+            PrimOp::Mul => "*",
+            PrimOp::Div => "/",
+            PrimOp::Mod => "%",
+            PrimOp::And => "&&",
+            PrimOp::Or => "||",
+            PrimOp::Not => "!",
+            PrimOp::Hash => "hash",
+        }
+    }
+}
+
+/// Named definitions (paper Figure 2). Definitions do not add expressive
+/// power — each has a base-language expansion (see [`crate::defs`]) — but
+/// they carry efficient built-in implementations, code-generator plugins and
+/// cost-function plugins, which is the paper's extensibility story.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DefName {
+    /// `head : [τ] → τ` (undefined on the empty list).
+    Head,
+    /// `tail : [τ] → [τ]` (undefined on the empty list).
+    Tail,
+    /// `length : [τ] → Int`.
+    Length,
+    /// `avg : [Int] → Int`.
+    Avg,
+    /// `treeFold[k](⟨c, f⟩) : [τ] → τ` — tree-shaped bracketing of a k-ary
+    /// function; the divide-and-conquer recursion schema behind Merge-Sort.
+    TreeFold(BlockSize),
+    /// `unfoldR(f) : ⟨[τ₁],…,[τₙ]⟩ → [τᵣ]` — simultaneous iteration over a
+    /// tuple of lists, consuming at most one head per list per step. The
+    /// blocking fields record the input/output block sizes introduced by the
+    /// blocked-`unfoldR` variant of *apply-block* (paper §6.2: "we also use
+    /// an analogous rule to introduce bigger blocks to our implementation of
+    /// unfoldR"); they do not change the semantics, only the costing.
+    UnfoldR {
+        /// Input block size (elements fetched per transfer, per list).
+        b_in: BlockSize,
+        /// Output block size (elements written per transfer).
+        b_out: BlockSize,
+    },
+    /// `mrg : ⟨[τ],[τ]⟩ → ⟨[τ], ⟨[τ],[τ]⟩⟩` — one step of merging two sorted
+    /// lists (used as `unfoldR(mrg)`).
+    Mrg,
+    /// `z : ⟨[τ₁],…,[τₙ]⟩ → ⟨[⟨τ₁,…,τₙ⟩], ⟨[τ₁],…,[τₙ]⟩⟩` — one zip step
+    /// over `n` lists (used as `unfoldR(z)` for column-store reads).
+    Zip(u32),
+    /// `partition : [⟨τ₁,…,τₙ⟩] → [⟨τ₁, [⟨τ₂,…,τₙ⟩]⟩]` — groups tuples by
+    /// their first component (paper Figure 2).
+    Partition,
+    /// `hashPartition[s] : [τ] → [[τ]]` — distributes elements into `s`
+    /// buckets by hash of their first component (of the element itself if it
+    /// is atomic). Introduced by the *hash-part* rule.
+    HashPartition(BlockSize),
+    /// `funcPow[k](f)` — the 2ᵏ-ary power of a binary function
+    /// (paper Figure 2); `funcPow[k](mrg)` acts as the 2ᵏ-way merge step.
+    FuncPow(u32),
+}
+
+impl DefName {
+    /// Element-at-a-time `unfoldR` (the default, pre-blocking form).
+    pub fn unfoldr() -> DefName {
+        DefName::UnfoldR {
+            b_in: BlockSize::one(),
+            b_out: BlockSize::one(),
+        }
+    }
+
+    /// Number of successive applications needed to saturate the definition.
+    pub fn arity(&self) -> usize {
+        match self {
+            DefName::Head
+            | DefName::Tail
+            | DefName::Length
+            | DefName::Avg
+            | DefName::Mrg
+            | DefName::Zip(_)
+            | DefName::Partition
+            | DefName::HashPartition(_) => 1,
+            DefName::TreeFold(_) | DefName::UnfoldR { .. } | DefName::FuncPow(_) => 2,
+        }
+    }
+
+    /// Human-readable name (matches the concrete syntax).
+    pub fn name(&self) -> String {
+        match self {
+            DefName::Head => "head".into(),
+            DefName::Tail => "tail".into(),
+            DefName::Length => "length".into(),
+            DefName::Avg => "avg".into(),
+            DefName::TreeFold(k) => format!("treeFold[{k}]"),
+            DefName::UnfoldR { b_in, b_out } => {
+                if b_in.is_one() && b_out.is_one() {
+                    "unfoldR".into()
+                } else {
+                    format!("unfoldR[{b_in}, {b_out}]")
+                }
+            }
+            DefName::Mrg => "mrg".into(),
+            DefName::Zip(n) => format!("zip[{n}]"),
+            DefName::Partition => "partition".into(),
+            DefName::HashPartition(s) => format!("hashPartition[{s}]"),
+            DefName::FuncPow(k) => format!("funcPow[{k}]"),
+        }
+    }
+}
+
+/// A programmer-supplied cardinality expression for size annotations
+/// (paper §5.1: "we allow the programmer to annotate any expression with a
+/// custom result size estimate").
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CardHint {
+    /// A fixed cardinality.
+    Const(u64),
+    /// The cardinality variable of a named input (e.g. `x` for `length(R)`).
+    Var(String),
+    /// Sum of two cardinalities.
+    Add(Box<CardHint>, Box<CardHint>),
+    /// Product of two cardinalities.
+    Mul(Box<CardHint>, Box<CardHint>),
+    /// `lhs / rhs`, rounded up.
+    Div(Box<CardHint>, Box<CardHint>),
+}
+
+/// A programmer-supplied annotated-type skeleton for a result size.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SizeHint {
+    /// An atomic value of the given byte width.
+    Atom(u64),
+    /// A tuple of hints.
+    Tuple(Vec<SizeHint>),
+    /// A list with the given element hint and cardinality.
+    List(Box<SizeHint>, CardHint),
+}
+
+/// An OCAL expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Expr {
+    /// A variable reference.
+    Var(String),
+    /// An integer literal.
+    Int(i64),
+    /// A boolean literal.
+    Bool(bool),
+    /// A string literal.
+    Str(String),
+    /// λ-abstraction `λx. body`.
+    Lam {
+        /// Bound variable.
+        param: String,
+        /// Function body.
+        body: Box<Expr>,
+    },
+    /// Function application `func(arg)`.
+    App {
+        /// Function-position expression.
+        func: Box<Expr>,
+        /// Argument expression.
+        arg: Box<Expr>,
+    },
+    /// Tuple construction `⟨e₁, …, eₙ⟩`.
+    Tuple(Vec<Expr>),
+    /// 1-based tuple projection `e.i`.
+    Proj {
+        /// The tuple expression.
+        tuple: Box<Expr>,
+        /// 1-based component index (paper convention).
+        index: u32,
+    },
+    /// Singleton list `[e]`.
+    Singleton(Box<Expr>),
+    /// Empty list `[]`.
+    Empty,
+    /// List union (concatenation) `left ⊔ right`.
+    Union {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `flatMap(func)` — a function value of type `[τ₁] → [τ₂]`.
+    FlatMap {
+        /// Element function of type `τ₁ → [τ₂]`.
+        func: Box<Expr>,
+    },
+    /// `foldL(init, func)` — a function value of type `[τ₁] → τ₂`.
+    FoldL {
+        /// Initial accumulator.
+        init: Box<Expr>,
+        /// Step function of type `⟨τ₂, τ₁⟩ → τ₂`.
+        func: Box<Expr>,
+    },
+    /// Conditional `if cond then e₁ else e₂`.
+    If {
+        /// Boolean condition.
+        cond: Box<Expr>,
+        /// Taken when true.
+        then_branch: Box<Expr>,
+        /// Taken when false.
+        else_branch: Box<Expr>,
+    },
+    /// Saturated primitive application.
+    Prim {
+        /// The primitive.
+        op: PrimOp,
+        /// Arguments (`op.arity()` of them).
+        args: Vec<Expr>,
+    },
+    /// Blocked functional loop
+    /// `for (var [block] ← source) [out_block] body`, optionally carrying a
+    /// sequentiality annotation. With `block == 1` the variable binds each
+    /// element; with a larger (or symbolic) block it binds each sub-list of
+    /// up to `block` elements. The result is the concatenation of the list
+    /// values produced by `body`.
+    For {
+        /// Loop variable.
+        var: String,
+        /// Input block size `k` (elements fetched per transfer).
+        block: BlockSize,
+        /// The iterated list.
+        source: Box<Expr>,
+        /// Output buffer block size `k₂` (elements written per transfer).
+        out_block: BlockSize,
+        /// Loop body (must produce a list).
+        body: Box<Expr>,
+        /// Optional `[m₁ ≻ m₂]` sequentiality annotation.
+        seq: Option<SeqAnnot>,
+    },
+    /// A reference to a named definition.
+    DefRef(DefName),
+    /// A programmer result-size annotation around an expression.
+    Sized {
+        /// The annotated expression.
+        expr: Box<Expr>,
+        /// The asserted result size.
+        hint: SizeHint,
+    },
+}
+
+impl Expr {
+    // ---- Smart constructors -------------------------------------------------
+
+    /// Variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// λ-abstraction.
+    pub fn lam(param: impl Into<String>, body: Expr) -> Expr {
+        Expr::Lam {
+            param: param.into(),
+            body: Box::new(body),
+        }
+    }
+
+    /// Application `self(arg)`.
+    pub fn app(self, arg: Expr) -> Expr {
+        Expr::App {
+            func: Box::new(self),
+            arg: Box::new(arg),
+        }
+    }
+
+    /// Tuple construction.
+    pub fn tuple(items: Vec<Expr>) -> Expr {
+        Expr::Tuple(items)
+    }
+
+    /// 1-based projection `self.index`.
+    pub fn proj(self, index: u32) -> Expr {
+        debug_assert!(index >= 1, "projections are 1-based");
+        Expr::Proj {
+            tuple: Box::new(self),
+            index,
+        }
+    }
+
+    /// Singleton list `[self]`.
+    pub fn singleton(self) -> Expr {
+        Expr::Singleton(Box::new(self))
+    }
+
+    /// List union `self ⊔ other`.
+    pub fn union(self, other: Expr) -> Expr {
+        Expr::Union {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// Conditional.
+    pub fn if_(cond: Expr, then_branch: Expr, else_branch: Expr) -> Expr {
+        Expr::If {
+            cond: Box::new(cond),
+            then_branch: Box::new(then_branch),
+            else_branch: Box::new(else_branch),
+        }
+    }
+
+    /// Saturated primitive application.
+    pub fn prim(op: PrimOp, args: Vec<Expr>) -> Expr {
+        debug_assert_eq!(op.arity(), args.len(), "wrong arity for {op:?}");
+        Expr::Prim { op, args }
+    }
+
+    /// Binary primitive shorthand.
+    pub fn binop(op: PrimOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::prim(op, vec![lhs, rhs])
+    }
+
+    /// Element-at-a-time `for (var ← source) body`.
+    pub fn for_each(var: impl Into<String>, source: Expr, body: Expr) -> Expr {
+        Expr::For {
+            var: var.into(),
+            block: BlockSize::one(),
+            source: Box::new(source),
+            out_block: BlockSize::one(),
+            body: Box::new(body),
+            seq: None,
+        }
+    }
+
+    /// Blocked `for (var [block] ← source) [out_block] body`.
+    pub fn for_blocked(
+        var: impl Into<String>,
+        block: BlockSize,
+        source: Expr,
+        out_block: BlockSize,
+        body: Expr,
+    ) -> Expr {
+        Expr::For {
+            var: var.into(),
+            block,
+            source: Box::new(source),
+            out_block,
+            body: Box::new(body),
+            seq: None,
+        }
+    }
+
+    /// `flatMap(func)`.
+    pub fn flat_map(func: Expr) -> Expr {
+        Expr::FlatMap {
+            func: Box::new(func),
+        }
+    }
+
+    /// `foldL(init, func)`.
+    pub fn fold_l(init: Expr, func: Expr) -> Expr {
+        Expr::FoldL {
+            init: Box::new(init),
+            func: Box::new(func),
+        }
+    }
+
+    /// Named definition reference.
+    pub fn def(def: DefName) -> Expr {
+        Expr::DefRef(def)
+    }
+
+    /// Wraps `self` with a programmer size annotation.
+    pub fn sized(self, hint: SizeHint) -> Expr {
+        Expr::Sized {
+            expr: Box::new(self),
+            hint,
+        }
+    }
+
+    // ---- Traversal ----------------------------------------------------------
+
+    /// Immutable references to the direct subexpressions.
+    pub fn children(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Var(_)
+            | Expr::Int(_)
+            | Expr::Bool(_)
+            | Expr::Str(_)
+            | Expr::Empty
+            | Expr::DefRef(_) => vec![],
+            Expr::Lam { body, .. } => vec![body],
+            Expr::App { func, arg } => vec![func, arg],
+            Expr::Tuple(items) => items.iter().collect(),
+            Expr::Proj { tuple, .. } => vec![tuple],
+            Expr::Singleton(e) => vec![e],
+            Expr::Union { left, right } => vec![left, right],
+            Expr::FlatMap { func } => vec![func],
+            Expr::FoldL { init, func } => vec![init, func],
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => vec![cond, then_branch, else_branch],
+            Expr::Prim { args, .. } => args.iter().collect(),
+            Expr::For { source, body, .. } => vec![source, body],
+            Expr::Sized { expr, .. } => vec![expr],
+        }
+    }
+
+    /// Rebuilds this node with children transformed by `f` (same shape).
+    pub fn map_children(&self, mut f: impl FnMut(&Expr) -> Expr) -> Expr {
+        match self {
+            Expr::Var(_)
+            | Expr::Int(_)
+            | Expr::Bool(_)
+            | Expr::Str(_)
+            | Expr::Empty
+            | Expr::DefRef(_) => self.clone(),
+            Expr::Lam { param, body } => Expr::Lam {
+                param: param.clone(),
+                body: Box::new(f(body)),
+            },
+            Expr::App { func, arg } => Expr::App {
+                func: Box::new(f(func)),
+                arg: Box::new(f(arg)),
+            },
+            Expr::Tuple(items) => Expr::Tuple(items.iter().map(&mut f).collect()),
+            Expr::Proj { tuple, index } => Expr::Proj {
+                tuple: Box::new(f(tuple)),
+                index: *index,
+            },
+            Expr::Singleton(e) => Expr::Singleton(Box::new(f(e))),
+            Expr::Union { left, right } => Expr::Union {
+                left: Box::new(f(left)),
+                right: Box::new(f(right)),
+            },
+            Expr::FlatMap { func } => Expr::FlatMap {
+                func: Box::new(f(func)),
+            },
+            Expr::FoldL { init, func } => Expr::FoldL {
+                init: Box::new(f(init)),
+                func: Box::new(f(func)),
+            },
+            Expr::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => Expr::If {
+                cond: Box::new(f(cond)),
+                then_branch: Box::new(f(then_branch)),
+                else_branch: Box::new(f(else_branch)),
+            },
+            Expr::Prim { op, args } => Expr::Prim {
+                op: *op,
+                args: args.iter().map(&mut f).collect(),
+            },
+            Expr::For {
+                var,
+                block,
+                source,
+                out_block,
+                body,
+                seq,
+            } => Expr::For {
+                var: var.clone(),
+                block: block.clone(),
+                source: Box::new(f(source)),
+                out_block: out_block.clone(),
+                body: Box::new(f(body)),
+                seq: seq.clone(),
+            },
+            Expr::Sized { expr, hint } => Expr::Sized {
+                expr: Box::new(f(expr)),
+                hint: hint.clone(),
+            },
+        }
+    }
+
+    /// Number of AST nodes (used to bound search).
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    // ---- Binding-aware operations -------------------------------------------
+
+    /// Free variables of the expression.
+    pub fn free_vars(&self) -> BTreeSet<String> {
+        fn go(e: &Expr, bound: &mut Vec<String>, out: &mut BTreeSet<String>) {
+            match e {
+                Expr::Var(v) => {
+                    if !bound.iter().any(|b| b == v) {
+                        out.insert(v.clone());
+                    }
+                }
+                Expr::Lam { param, body } => {
+                    bound.push(param.clone());
+                    go(body, bound, out);
+                    bound.pop();
+                }
+                Expr::For {
+                    var, source, body, ..
+                } => {
+                    go(source, bound, out);
+                    bound.push(var.clone());
+                    go(body, bound, out);
+                    bound.pop();
+                }
+                other => {
+                    for c in other.children() {
+                        go(c, bound, out);
+                    }
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// True if `name` occurs free in the expression.
+    pub fn mentions(&self, name: &str) -> bool {
+        self.free_vars().contains(name)
+    }
+
+    /// Capture-avoiding substitution of free occurrences of `name` by `with`.
+    pub fn subst(&self, name: &str, with: &Expr) -> Expr {
+        match self {
+            Expr::Var(v) if v == name => with.clone(),
+            Expr::Var(_) => self.clone(),
+            Expr::Lam { param, body } => {
+                if param == name {
+                    self.clone()
+                } else if with.mentions(param) {
+                    let fresh = fresh_name(param, with, body);
+                    let renamed = body.subst(param, &Expr::var(fresh.clone()));
+                    Expr::Lam {
+                        param: fresh,
+                        body: Box::new(renamed.subst(name, with)),
+                    }
+                } else {
+                    Expr::Lam {
+                        param: param.clone(),
+                        body: Box::new(body.subst(name, with)),
+                    }
+                }
+            }
+            Expr::For {
+                var,
+                block,
+                source,
+                out_block,
+                body,
+                seq,
+            } => {
+                let new_source = Box::new(source.subst(name, with));
+                if var == name {
+                    Expr::For {
+                        var: var.clone(),
+                        block: block.clone(),
+                        source: new_source,
+                        out_block: out_block.clone(),
+                        body: body.clone(),
+                        seq: seq.clone(),
+                    }
+                } else if with.mentions(var) {
+                    let fresh = fresh_name(var, with, body);
+                    let renamed = body.subst(var, &Expr::var(fresh.clone()));
+                    Expr::For {
+                        var: fresh,
+                        block: block.clone(),
+                        source: new_source,
+                        out_block: out_block.clone(),
+                        body: Box::new(renamed.subst(name, with)),
+                        seq: seq.clone(),
+                    }
+                } else {
+                    Expr::For {
+                        var: var.clone(),
+                        block: block.clone(),
+                        source: new_source,
+                        out_block: out_block.clone(),
+                        body: Box::new(body.subst(name, with)),
+                        seq: seq.clone(),
+                    }
+                }
+            }
+            other => other.map_children(|c| c.subst(name, with)),
+        }
+    }
+
+    /// α-canonical form: bound variables renamed to `%0`, `%1`, … in binding
+    /// order. Two α-equivalent expressions have identical canonical forms,
+    /// which the search engine uses for deduplication.
+    pub fn alpha_canonical(&self) -> Expr {
+        fn go(e: &Expr, scope: &mut Vec<(String, String)>, counter: &mut usize) -> Expr {
+            match e {
+                Expr::Var(v) => {
+                    for (orig, canon) in scope.iter().rev() {
+                        if orig == v {
+                            return Expr::Var(canon.clone());
+                        }
+                    }
+                    e.clone()
+                }
+                Expr::Lam { param, body } => {
+                    let canon = format!("%{counter}");
+                    *counter += 1;
+                    scope.push((param.clone(), canon.clone()));
+                    let body = go(body, scope, counter);
+                    scope.pop();
+                    Expr::Lam {
+                        param: canon,
+                        body: Box::new(body),
+                    }
+                }
+                Expr::For {
+                    var,
+                    block,
+                    source,
+                    out_block,
+                    body,
+                    seq,
+                } => {
+                    let source = go(source, scope, counter);
+                    let canon = format!("%{counter}");
+                    *counter += 1;
+                    scope.push((var.clone(), canon.clone()));
+                    let body = go(body, scope, counter);
+                    scope.pop();
+                    Expr::For {
+                        var: canon,
+                        block: block.clone(),
+                        source: Box::new(source),
+                        out_block: out_block.clone(),
+                        body: Box::new(body),
+                        seq: seq.clone(),
+                    }
+                }
+                other => other.map_children(|c| go(c, scope, counter)),
+            }
+        }
+        go(self, &mut Vec::new(), &mut 0)
+    }
+
+    /// α-equivalence.
+    pub fn alpha_eq(&self, other: &Expr) -> bool {
+        self.alpha_canonical() == other.alpha_canonical()
+    }
+
+    /// All block-size parameter names appearing in the expression (the
+    /// decision variables handed to the parameter optimizer).
+    pub fn block_params(&self) -> BTreeSet<String> {
+        fn collect_block(b: &BlockSize, out: &mut BTreeSet<String>) {
+            if let BlockSize::Param(p) = b {
+                out.insert(p.clone());
+            }
+        }
+        fn go(e: &Expr, out: &mut BTreeSet<String>) {
+            if let Expr::For {
+                block, out_block, ..
+            } = e
+            {
+                collect_block(block, out);
+                collect_block(out_block, out);
+            }
+            if let Expr::DefRef(d) = e {
+                match d {
+                    DefName::TreeFold(k) | DefName::HashPartition(k) => collect_block(k, out),
+                    DefName::UnfoldR { b_in, b_out } => {
+                        collect_block(b_in, out);
+                        collect_block(b_out, out);
+                    }
+                    _ => {}
+                }
+            }
+            for c in e.children() {
+                go(c, out);
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut out);
+        out
+    }
+}
+
+/// Picks a variable name based on `base` that is free in neither `a` nor `b`.
+fn fresh_name(base: &str, a: &Expr, b: &Expr) -> String {
+    let fa = a.free_vars();
+    let fb = b.free_vars();
+    let mut i = 0u32;
+    loop {
+        let cand = format!("{base}_{i}");
+        if !fa.contains(&cand) && !fb.contains(&cand) {
+            return cand;
+        }
+        i += 1;
+    }
+}
+
+/// Type environment for top-level programs: named inputs and their types.
+pub type TypeEnv = std::collections::BTreeMap<String, Type>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_join() -> Expr {
+        // for (x <- R) for (y <- S) if x.1 == y.1 then [<x,y>] else []
+        let cond = Expr::binop(
+            PrimOp::Eq,
+            Expr::var("x").proj(1),
+            Expr::var("y").proj(1),
+        );
+        let body = Expr::if_(
+            cond,
+            Expr::tuple(vec![Expr::var("x"), Expr::var("y")]).singleton(),
+            Expr::Empty,
+        );
+        Expr::for_each("x", Expr::var("R"), Expr::for_each("y", Expr::var("S"), body))
+    }
+
+    #[test]
+    fn free_vars_of_join() {
+        let j = naive_join();
+        let fv = j.free_vars();
+        assert!(fv.contains("R"));
+        assert!(fv.contains("S"));
+        assert!(!fv.contains("x"));
+        assert!(!fv.contains("y"));
+    }
+
+    #[test]
+    fn subst_avoids_capture() {
+        // (λy. x ⊔ y) with x := y  must rename the binder.
+        let lam = Expr::lam("y", Expr::var("x").union(Expr::var("y")));
+        let result = lam.subst("x", &Expr::var("y"));
+        if let Expr::Lam { param, body } = &result {
+            assert_ne!(param, "y", "binder must be renamed");
+            let fv = body.free_vars();
+            assert!(fv.contains("y"), "substituted var must stay free: {result:?}");
+        } else {
+            panic!("expected lambda");
+        }
+    }
+
+    #[test]
+    fn alpha_equivalence() {
+        let a = Expr::lam("x", Expr::var("x"));
+        let b = Expr::lam("y", Expr::var("y"));
+        assert!(a.alpha_eq(&b));
+        let c = Expr::for_each("i", Expr::var("R"), Expr::var("i").singleton());
+        let d = Expr::for_each("j", Expr::var("R"), Expr::var("j").singleton());
+        assert!(c.alpha_eq(&d));
+        let e = Expr::for_each("i", Expr::var("R"), Expr::var("R").singleton());
+        assert!(!c.alpha_eq(&e));
+    }
+
+    #[test]
+    fn block_params_collected() {
+        let e = Expr::for_blocked(
+            "xb",
+            BlockSize::Param("k1".into()),
+            Expr::var("R"),
+            BlockSize::Param("k2".into()),
+            Expr::var("xb"),
+        );
+        let ps = e.block_params();
+        assert!(ps.contains("k1") && ps.contains("k2"));
+    }
+
+    #[test]
+    fn node_count_and_children() {
+        let j = naive_join();
+        assert!(j.node_count() > 10);
+        assert_eq!(j.children().len(), 2); // source + body
+    }
+
+    #[test]
+    fn subst_into_for_source_not_body_var() {
+        let e = Expr::for_each("x", Expr::var("R"), Expr::var("x").singleton());
+        let r = e.subst("x", &Expr::Int(1));
+        // The bound x must be untouched.
+        assert!(r.alpha_eq(&e));
+        let r2 = e.subst("R", &Expr::var("T"));
+        assert!(r2.mentions("T"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Base-language expansions of the named definitions (paper Figure 2).
+//!
+//! Definitions do not increase the expressiveness of OCAL: each can be
+//! expressed in the base language (Monad Calculus + `foldL`). The evaluator
+//! ships efficient built-ins (the paper's "code generator plugins" — e.g.
+//! the Figure 2 `partition` is quadratic while the plugin is linear), and the
+//! test suite checks that built-in and expansion agree on random inputs,
+//! which is exactly the paper's soundness story for plugins.
+
+use crate::ast::{DefName, Expr, PrimOp};
+
+/// Returns the base-language expansion of a definition applied to nothing —
+/// i.e. a function value — when a closed-form expansion exists.
+///
+/// `treeFold`, `unfoldR`, `zip`, `partition`, `hashPartition` and `funcPow`
+/// have recursive definitions whose faithful base-language forms (given in
+/// the paper's Figure 2) rely on padding/queueing tricks that need the same
+/// built-in machinery to execute efficiently; for those we return `None`
+/// and the built-in is normative.
+pub fn expansion(def: &DefName) -> Option<Expr> {
+    match def {
+        DefName::Head => Some(head_expansion()),
+        DefName::Tail => Some(tail_expansion()),
+        DefName::Length => Some(length_expansion()),
+        DefName::Avg => Some(avg_expansion()),
+        DefName::Mrg => Some(mrg_expansion()),
+        _ => None,
+    }
+}
+
+/// `head := λl. foldL(⟨true, 0⟩, λ⟨a, x⟩. if a.1 then ⟨false, x⟩ else a)(l).2`
+///
+/// The paper seeds the accumulator with a placeholder `0`; here the fold is
+/// seeded lazily by pairing a "not yet seen" flag with the running value.
+/// On an empty list the placeholder escapes — matching the paper's "undefined
+/// on empty" semantics only up to the placeholder value, so the built-in
+/// (which errors) is normative for the empty case.
+fn head_expansion() -> Expr {
+    // λl. foldL(<true, 0>, λa. if a.1.1 then <false, a.2> else a.1)(l).2
+    // Using the convention that the step function receives <acc, x> as a pair
+    // named `a` with a.1 = acc, a.2 = x.
+    let step = Expr::lam(
+        "a",
+        Expr::if_(
+            Expr::var("a").proj(1).proj(1),
+            Expr::tuple(vec![Expr::Bool(false), Expr::var("a").proj(2)]),
+            Expr::var("a").proj(1),
+        ),
+    );
+    Expr::lam(
+        "l",
+        Expr::fold_l(Expr::tuple(vec![Expr::Bool(true), Expr::Int(0)]), step)
+            .app(Expr::var("l"))
+            .proj(2),
+    )
+}
+
+/// `tail := λl. foldL(⟨true, []⟩, λ⟨a, x⟩. if a.1 then ⟨false, []⟩
+///                     else ⟨false, a.2 ⊔ [x]⟩)(l).2`
+fn tail_expansion() -> Expr {
+    let acc = || Expr::var("a").proj(1);
+    let x = || Expr::var("a").proj(2);
+    let step = Expr::lam(
+        "a",
+        Expr::if_(
+            acc().proj(1),
+            Expr::tuple(vec![Expr::Bool(false), Expr::Empty]),
+            Expr::tuple(vec![
+                Expr::Bool(false),
+                acc().proj(2).union(x().singleton()),
+            ]),
+        ),
+    );
+    Expr::lam(
+        "l",
+        Expr::fold_l(Expr::tuple(vec![Expr::Bool(true), Expr::Empty]), step)
+            .app(Expr::var("l"))
+            .proj(2),
+    )
+}
+
+/// `length := foldL(0, λ⟨sum, _⟩. sum + 1)`
+fn length_expansion() -> Expr {
+    let step = Expr::lam(
+        "a",
+        Expr::binop(PrimOp::Add, Expr::var("a").proj(1), Expr::Int(1)),
+    );
+    Expr::fold_l(Expr::Int(0), step)
+}
+
+/// `avg := (λx. x.1 / x.2)(foldL(⟨0,0⟩, λ⟨a, x⟩. ⟨a.1 + x, a.2 + 1⟩))`
+fn avg_expansion() -> Expr {
+    let acc = || Expr::var("a").proj(1);
+    let x = || Expr::var("a").proj(2);
+    let step = Expr::lam(
+        "a",
+        Expr::tuple(vec![
+            Expr::binop(PrimOp::Add, acc().proj(1), x()),
+            Expr::binop(PrimOp::Add, acc().proj(2), Expr::Int(1)),
+        ]),
+    );
+    let ratio = Expr::lam(
+        "p",
+        Expr::binop(PrimOp::Div, Expr::var("p").proj(1), Expr::var("p").proj(2)),
+    );
+    Expr::lam(
+        "l",
+        ratio.app(
+            Expr::fold_l(
+                Expr::tuple(vec![Expr::Int(0), Expr::Int(0)]),
+                step,
+            )
+            .app(Expr::var("l")),
+        ),
+    )
+}
+
+/// `mrg` exactly as in Figure 2: one step of a two-way sorted merge.
+fn mrg_expansion() -> Expr {
+    let l1 = || Expr::var("p").proj(1);
+    let l2 = || Expr::var("p").proj(2);
+    let len = |l: Expr| Expr::def(DefName::Length).app(l);
+    let head = |l: Expr| Expr::def(DefName::Head).app(l);
+    let tail = |l: Expr| Expr::def(DefName::Tail).app(l);
+    let is_empty = |l: Expr| Expr::binop(PrimOp::Eq, len(l), Expr::Int(0));
+
+    let both_empty = Expr::binop(PrimOp::And, is_empty(l1()), is_empty(l2()));
+    let empty_state = Expr::tuple(vec![Expr::Empty, Expr::Empty]);
+
+    Expr::lam(
+        "p",
+        Expr::if_(
+            both_empty,
+            Expr::tuple(vec![Expr::Empty, empty_state]),
+            Expr::if_(
+                is_empty(l1()),
+                Expr::tuple(vec![
+                    head(l2()).singleton(),
+                    Expr::tuple(vec![Expr::Empty, tail(l2())]),
+                ]),
+                Expr::if_(
+                    is_empty(l2()),
+                    Expr::tuple(vec![
+                        head(l1()).singleton(),
+                        Expr::tuple(vec![tail(l1()), Expr::Empty]),
+                    ]),
+                    Expr::if_(
+                        Expr::binop(PrimOp::Lt, head(l1()), head(l2())),
+                        Expr::tuple(vec![
+                            head(l1()).singleton(),
+                            Expr::tuple(vec![tail(l1()), l2()]),
+                        ]),
+                        Expr::tuple(vec![
+                            head(l2()).singleton(),
+                            Expr::tuple(vec![l1(), tail(l2())]),
+                        ]),
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use crate::value::Value;
+    use std::collections::BTreeMap;
+
+    fn apply_fn(f: &Expr, arg: Value) -> Value {
+        let mut ev = Evaluator::new();
+        let inputs: BTreeMap<String, Value> = [("input".to_string(), arg)].into_iter().collect();
+        ev.run(&f.clone().app(Expr::var("input")), &inputs).unwrap()
+    }
+
+    #[test]
+    fn head_expansion_matches_builtin() {
+        let exp = expansion(&DefName::Head).unwrap();
+        let builtin = Expr::def(DefName::Head);
+        for list in [vec![3i64, 1, 2], vec![42], vec![-1, -2]] {
+            let v = Value::int_list(&list);
+            assert_eq!(apply_fn(&exp, v.clone()), apply_fn(&builtin, v));
+        }
+    }
+
+    #[test]
+    fn tail_expansion_matches_builtin() {
+        let exp = expansion(&DefName::Tail).unwrap();
+        let builtin = Expr::def(DefName::Tail);
+        for list in [vec![3i64, 1, 2], vec![42], vec![5, 6]] {
+            let v = Value::int_list(&list);
+            assert_eq!(apply_fn(&exp, v.clone()), apply_fn(&builtin, v));
+        }
+    }
+
+    #[test]
+    fn length_expansion_matches_builtin() {
+        let exp = expansion(&DefName::Length).unwrap();
+        let builtin = Expr::def(DefName::Length);
+        for list in [vec![], vec![1i64], vec![1, 2, 3, 4, 5]] {
+            let v = Value::int_list(&list);
+            assert_eq!(apply_fn(&exp, v.clone()), apply_fn(&builtin, v));
+        }
+    }
+
+    #[test]
+    fn avg_expansion_matches_builtin() {
+        let exp = expansion(&DefName::Avg).unwrap();
+        let builtin = Expr::def(DefName::Avg);
+        for list in [vec![4i64, 8, 6], vec![10], vec![1, 2]] {
+            let v = Value::int_list(&list);
+            assert_eq!(apply_fn(&exp, v.clone()), apply_fn(&builtin, v));
+        }
+    }
+
+    #[test]
+    fn mrg_expansion_matches_builtin() {
+        let exp = expansion(&DefName::Mrg).unwrap();
+        let builtin = Expr::def(DefName::Mrg);
+        let cases = [
+            (vec![1i64, 3], vec![2i64, 4]),
+            (vec![], vec![1]),
+            (vec![5], vec![]),
+            (vec![], vec![]),
+            (vec![2, 2], vec![2]),
+        ];
+        for (a, b) in cases {
+            let v = Value::tuple(vec![Value::int_list(&a), Value::int_list(&b)]);
+            assert_eq!(
+                apply_fn(&exp, v.clone()),
+                apply_fn(&builtin, v),
+                "mrg({a:?}, {b:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn mrg_expansion_drives_unfoldr_merge() {
+        // unfoldR over the *expanded* mrg must still fully merge.
+        let exp = expansion(&DefName::Mrg).unwrap();
+        let merge = Expr::def(DefName::unfoldr()).app(exp);
+        let v = Value::tuple(vec![
+            Value::int_list(&[1, 4, 6]),
+            Value::int_list(&[2, 3, 5, 7]),
+        ]);
+        assert_eq!(
+            apply_fn(&merge, v),
+            Value::int_list(&[1, 2, 3, 4, 5, 6, 7])
+        );
+    }
+}

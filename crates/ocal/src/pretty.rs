@@ -1,0 +1,237 @@
+//! Pretty-printing of OCAL expressions in (ASCII) paper-like concrete syntax.
+//!
+//! The printed form round-trips through [`crate::parser`]:
+//!
+//! ```text
+//! for (x [k1] <- R) [k2] if x.1 == y.1 then [<x, y>] else []
+//! \p. foldL(0, \a. a.1 + a.2)(p)
+//! treeFold[4](<[], unfoldR(funcPow[2](mrg))>)(R)
+//! ```
+
+use crate::ast::{Expr, PrimOp};
+use std::fmt;
+
+/// Wrapper giving `Expr` a `Display` with the concrete syntax.
+pub struct Pretty<'a>(pub &'a Expr);
+
+impl fmt::Display for Pretty<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(f, self.0, 0)
+    }
+}
+
+/// Renders an expression to a string in concrete syntax.
+pub fn pretty(e: &Expr) -> String {
+    Pretty(e).to_string()
+}
+
+/// Precedence levels: 0 = lambda/if/for bodies, 2 = `||`, 3 = `&&`,
+/// 4 = comparisons, 5 = `+ -`, 6 = `* / %`, 7 = union, 8 = application,
+/// 9 = projection/atoms.
+fn prim_prec(op: PrimOp) -> u8 {
+    match op {
+        PrimOp::Or => 2,
+        PrimOp::And => 3,
+        PrimOp::Eq | PrimOp::Ne | PrimOp::Lt | PrimOp::Le | PrimOp::Gt | PrimOp::Ge => 4,
+        PrimOp::Add | PrimOp::Sub => 5,
+        PrimOp::Mul | PrimOp::Div | PrimOp::Mod => 6,
+        PrimOp::Not | PrimOp::Hash => 8,
+    }
+}
+
+fn expr_prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Lam { .. } | Expr::If { .. } | Expr::For { .. } => 0,
+        Expr::Prim { op, .. } => prim_prec(*op),
+        Expr::Union { .. } => 7,
+        Expr::App { .. } => 8,
+        _ => 9,
+    }
+}
+
+fn write_paren(
+    f: &mut fmt::Formatter<'_>,
+    e: &Expr,
+    min_prec: u8,
+) -> fmt::Result {
+    if expr_prec(e) < min_prec {
+        write!(f, "(")?;
+        write_expr(f, e, 0)?;
+        write!(f, ")")
+    } else {
+        write_expr(f, e, min_prec)
+    }
+}
+
+fn write_expr(f: &mut fmt::Formatter<'_>, e: &Expr, _min: u8) -> fmt::Result {
+    match e {
+        Expr::Var(v) => write!(f, "{v}"),
+        Expr::Int(n) => write!(f, "{n}"),
+        Expr::Bool(b) => write!(f, "{b}"),
+        Expr::Str(s) => write!(f, "{s:?}"),
+        Expr::Lam { param, body } => {
+            write!(f, "\\{param}. ")?;
+            write_expr(f, body, 0)
+        }
+        Expr::App { func, arg } => {
+            write_paren(f, func, 8)?;
+            write!(f, "(")?;
+            write_expr(f, arg, 0)?;
+            write!(f, ")")
+        }
+        Expr::Tuple(items) => {
+            write!(f, "<")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_expr(f, item, 0)?;
+            }
+            write!(f, ">")
+        }
+        Expr::Proj { tuple, index } => {
+            write_paren(f, tuple, 9)?;
+            write!(f, ".{index}")
+        }
+        Expr::Singleton(inner) => {
+            write!(f, "[")?;
+            write_expr(f, inner, 0)?;
+            write!(f, "]")
+        }
+        Expr::Empty => write!(f, "[]"),
+        Expr::Union { left, right } => {
+            write_paren(f, left, 7)?;
+            write!(f, " ++ ")?;
+            write_paren(f, right, 8)
+        }
+        Expr::FlatMap { func } => {
+            write!(f, "flatMap(")?;
+            write_expr(f, func, 0)?;
+            write!(f, ")")
+        }
+        Expr::FoldL { init, func } => {
+            write!(f, "foldL(")?;
+            write_expr(f, init, 0)?;
+            write!(f, ", ")?;
+            write_expr(f, func, 0)?;
+            write!(f, ")")
+        }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            write!(f, "if ")?;
+            write_paren(f, cond, 1)?;
+            write!(f, " then ")?;
+            write_paren(f, then_branch, 1)?;
+            write!(f, " else ")?;
+            write_expr(f, else_branch, 0)
+        }
+        Expr::Prim { op, args } => match op {
+            PrimOp::Not => {
+                write!(f, "!")?;
+                write_paren(f, &args[0], 8)
+            }
+            PrimOp::Hash => {
+                write!(f, "hash(")?;
+                write_expr(f, &args[0], 0)?;
+                write!(f, ")")
+            }
+            binop => {
+                let p = prim_prec(*binop);
+                write_paren(f, &args[0], p)?;
+                write!(f, " {} ", binop.symbol())?;
+                write_paren(f, &args[1], p + 1)
+            }
+        },
+        Expr::For {
+            var,
+            block,
+            source,
+            out_block,
+            body,
+            seq,
+        } => {
+            write!(f, "for")?;
+            if let Some(s) = seq {
+                write!(f, "[{} >> {}]", s.from, s.to)?;
+            }
+            write!(f, " ({var}")?;
+            if !block.is_one() {
+                write!(f, " [{block}]")?;
+            }
+            write!(f, " <- ")?;
+            write_paren(f, source, 1)?;
+            write!(f, ")")?;
+            if !out_block.is_one() {
+                write!(f, " [{out_block}]")?;
+            }
+            write!(f, " ")?;
+            write_expr(f, body, 0)
+        }
+        Expr::DefRef(def) => write!(f, "{}", def.name()),
+        Expr::Sized { expr, .. } => {
+            write!(f, "@sized ")?;
+            write_paren(f, expr, 9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BlockSize, DefName, Expr as E};
+
+    #[test]
+    fn join_prints_like_the_paper() {
+        let cond = E::binop(PrimOp::Eq, E::var("x").proj(1), E::var("y").proj(1));
+        let body = E::if_(
+            cond,
+            E::tuple(vec![E::var("x"), E::var("y")]).singleton(),
+            E::Empty,
+        );
+        let join = E::for_each("x", E::var("R"), E::for_each("y", E::var("S"), body));
+        assert_eq!(
+            pretty(&join),
+            "for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []"
+        );
+    }
+
+    #[test]
+    fn blocked_for_shows_blocks() {
+        let e = E::for_blocked(
+            "xb",
+            BlockSize::Param("k1".into()),
+            E::var("R"),
+            BlockSize::Param("k2".into()),
+            E::var("xb"),
+        );
+        assert_eq!(pretty(&e), "for (xb [k1] <- R) [k2] xb");
+    }
+
+    #[test]
+    fn treefold_prints_with_arity() {
+        let step = E::def(DefName::unfoldr())
+            .app(E::def(DefName::FuncPow(2)).app(E::def(DefName::Mrg)));
+        let tf = E::def(DefName::TreeFold(BlockSize::Const(4)))
+            .app(E::tuple(vec![E::Empty, step]))
+            .app(E::var("R"));
+        assert_eq!(
+            pretty(&tf),
+            "treeFold[4](<[], unfoldR(funcPow[2](mrg))>)(R)"
+        );
+    }
+
+    #[test]
+    fn precedence_parenthesization() {
+        let e = E::binop(
+            PrimOp::Mul,
+            E::binop(PrimOp::Add, E::var("a"), E::var("b")),
+            E::var("c"),
+        );
+        assert_eq!(pretty(&e), "(a + b) * c");
+        let l = E::lam("x", E::var("x")).app(E::Int(1));
+        assert_eq!(pretty(&l), "(\\x. x)(1)");
+    }
+}

@@ -1,0 +1,756 @@
+//! Type inference for OCAL (paper Figure 1).
+//!
+//! The paper presents a simply-typed system; definitions like `head : [τ]→τ`
+//! are polymorphic schemes instantiated at use sites. We implement standard
+//! unification-based inference. Definitions with *shape-dependent* types
+//! (`unfoldR`, `partition`, `treeFold[k]`, `funcPow[k]`) are handled by
+//! special application rules that first resolve the argument's type — this
+//! mirrors the paper's treatment of definitions as language extensions with
+//! their own typing plugins.
+
+use crate::ast::{BlockSize, DefName, Expr, PrimOp, TypeEnv};
+use crate::types::Type;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors produced by type inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A free variable had no type in the environment.
+    UnboundVariable(String),
+    /// Two types failed to unify.
+    Mismatch {
+        /// Expected type (after resolution).
+        expected: Type,
+        /// Found type (after resolution).
+        found: Type,
+        /// Human-readable location.
+        context: String,
+    },
+    /// A tuple projection was out of bounds or applied to a non-tuple.
+    BadProjection {
+        /// The resolved type of the projected expression.
+        ty: Type,
+        /// The 1-based index.
+        index: u32,
+    },
+    /// Occurs-check failure (infinite type).
+    InfiniteType,
+    /// A shape-dependent definition could not resolve its argument's shape.
+    UnresolvedShape {
+        /// The definition.
+        def: String,
+        /// The argument type as far as it resolved.
+        ty: Type,
+    },
+    /// A definition that must be applied appeared bare.
+    BareDefinition(String),
+    /// `treeFold`/`hashPartition` arity parameters must be concrete to type.
+    SymbolicArity(String),
+    /// The program type still contains unification variables.
+    NotGround(Type),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnboundVariable(v) => write!(f, "unbound variable `{v}`"),
+            TypeError::Mismatch {
+                expected,
+                found,
+                context,
+            } => write!(f, "type mismatch in {context}: expected `{expected}`, found `{found}`"),
+            TypeError::BadProjection { ty, index } => {
+                write!(f, "cannot project component {index} out of `{ty}`")
+            }
+            TypeError::InfiniteType => write!(f, "occurs check failed (infinite type)"),
+            TypeError::UnresolvedShape { def, ty } => write!(
+                f,
+                "definition `{def}` needs the shape of its argument, but it only resolved to `{ty}`"
+            ),
+            TypeError::BareDefinition(d) => {
+                write!(f, "definition `{d}` must be applied to its arguments")
+            }
+            TypeError::SymbolicArity(d) => write!(
+                f,
+                "definition `{d}` has a symbolic arity parameter; typechecking needs a constant"
+            ),
+            TypeError::NotGround(t) => {
+                write!(f, "program type `{t}` is not fully determined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Unification state.
+struct Infer {
+    subst: Vec<Option<Type>>,
+    /// In lenient mode (used by [`infer_type`] on open fragments), a
+    /// projection out of a still-undetermined type yields a fresh variable
+    /// instead of an error; [`typecheck`] stays strict and additionally
+    /// requires ground results.
+    lenient: bool,
+}
+
+impl Infer {
+    fn new(lenient: bool) -> Infer {
+        Infer {
+            subst: Vec::new(),
+            lenient,
+        }
+    }
+
+    fn fresh(&mut self) -> Type {
+        let id = self.subst.len() as u32;
+        self.subst.push(None);
+        Type::Var(id)
+    }
+
+    /// Follows the substitution one level.
+    fn shallow(&self, t: &Type) -> Type {
+        let mut t = t.clone();
+        while let Type::Var(v) = t {
+            match &self.subst[v as usize] {
+                Some(next) => t = next.clone(),
+                None => return Type::Var(v),
+            }
+        }
+        t
+    }
+
+    /// Fully applies the substitution.
+    fn resolve(&self, t: &Type) -> Type {
+        match self.shallow(t) {
+            Type::Tuple(items) => Type::Tuple(items.iter().map(|i| self.resolve(i)).collect()),
+            Type::List(e) => Type::List(Box::new(self.resolve(&e))),
+            Type::Fun(a, r) => Type::Fun(Box::new(self.resolve(&a)), Box::new(self.resolve(&r))),
+            other => other,
+        }
+    }
+
+    fn occurs(&self, v: u32, t: &Type) -> bool {
+        match self.shallow(t) {
+            Type::Var(w) => w == v,
+            Type::Tuple(items) => items.iter().any(|i| self.occurs(v, i)),
+            Type::List(e) => self.occurs(v, &e),
+            Type::Fun(a, r) => self.occurs(v, &a) || self.occurs(v, &r),
+            _ => false,
+        }
+    }
+
+    fn unify(&mut self, a: &Type, b: &Type, context: &str) -> Result<(), TypeError> {
+        let (a, b) = (self.shallow(a), self.shallow(b));
+        match (&a, &b) {
+            (Type::Var(v), Type::Var(w)) if v == w => Ok(()),
+            (Type::Var(v), other) | (other, Type::Var(v)) => {
+                if self.occurs(*v, other) {
+                    return Err(TypeError::InfiniteType);
+                }
+                self.subst[*v as usize] = Some(other.clone());
+                Ok(())
+            }
+            (Type::Int, Type::Int) | (Type::Bool, Type::Bool) | (Type::Str, Type::Str) => Ok(()),
+            (Type::List(x), Type::List(y)) => self.unify(x, y, context),
+            (Type::Fun(a1, r1), Type::Fun(a2, r2)) => {
+                self.unify(a1, a2, context)?;
+                self.unify(r1, r2, context)
+            }
+            (Type::Tuple(xs), Type::Tuple(ys)) if xs.len() == ys.len() => {
+                for (x, y) in xs.iter().zip(ys) {
+                    self.unify(x, y, context)?;
+                }
+                Ok(())
+            }
+            _ => Err(TypeError::Mismatch {
+                expected: self.resolve(&a),
+                found: self.resolve(&b),
+                context: context.to_string(),
+            }),
+        }
+    }
+}
+
+fn const_arity(def: &DefName, k: &BlockSize) -> Result<usize, TypeError> {
+    match k {
+        BlockSize::Const(n) => Ok(*n as usize),
+        BlockSize::Param(_) => Err(TypeError::SymbolicArity(def.name())),
+    }
+}
+
+/// Infers the type of `expr` under `env` and requires the result to be fully
+/// ground (no leftover inference variables).
+pub fn typecheck(expr: &Expr, env: &TypeEnv) -> Result<Type, TypeError> {
+    let mut infer = Infer::new(false);
+    let mut scope: BTreeMap<String, Type> = env.clone();
+    let t = infer_expr(&mut infer, &mut scope, expr)?;
+    let t = infer.resolve(&t);
+    if t.is_ground() {
+        Ok(t)
+    } else {
+        Err(TypeError::NotGround(t))
+    }
+}
+
+/// Infers the type of `expr` under `env`, allowing non-ground results (useful
+/// for checking open program fragments such as bare lambdas).
+pub fn infer_type(expr: &Expr, env: &TypeEnv) -> Result<Type, TypeError> {
+    let mut infer = Infer::new(true);
+    let mut scope: BTreeMap<String, Type> = env.clone();
+    let t = infer_expr(&mut infer, &mut scope, expr)?;
+    Ok(infer.resolve(&t))
+}
+
+fn infer_expr(
+    infer: &mut Infer,
+    scope: &mut BTreeMap<String, Type>,
+    expr: &Expr,
+) -> Result<Type, TypeError> {
+    match expr {
+        Expr::Var(v) => scope
+            .get(v)
+            .cloned()
+            .ok_or_else(|| TypeError::UnboundVariable(v.clone())),
+        Expr::Int(_) => Ok(Type::Int),
+        Expr::Bool(_) => Ok(Type::Bool),
+        Expr::Str(_) => Ok(Type::Str),
+        Expr::Lam { param, body } => {
+            let a = infer.fresh();
+            let shadowed = scope.insert(param.clone(), a.clone());
+            let r = infer_expr(infer, scope, body)?;
+            restore(scope, param, shadowed);
+            Ok(Type::fun(a, r))
+        }
+        Expr::App { func, arg } => infer_app(infer, scope, func, arg),
+        Expr::Tuple(items) => {
+            let mut ts = Vec::with_capacity(items.len());
+            for i in items {
+                ts.push(infer_expr(infer, scope, i)?);
+            }
+            Ok(Type::Tuple(ts))
+        }
+        Expr::Proj { tuple, index } => {
+            let t = infer_expr(infer, scope, tuple)?;
+            match infer.shallow(&t) {
+                Type::Tuple(items) => {
+                    let i = *index as usize;
+                    if i >= 1 && i <= items.len() {
+                        Ok(items[i - 1].clone())
+                    } else {
+                        Err(TypeError::BadProjection {
+                            ty: infer.resolve(&t),
+                            index: *index,
+                        })
+                    }
+                }
+                Type::Var(_) if infer.lenient => Ok(infer.fresh()),
+                other => Err(TypeError::BadProjection {
+                    ty: infer.resolve(&other),
+                    index: *index,
+                }),
+            }
+        }
+        Expr::Singleton(e) => {
+            let t = infer_expr(infer, scope, e)?;
+            Ok(Type::list(t))
+        }
+        Expr::Empty => Ok(Type::list(infer.fresh())),
+        Expr::Union { left, right } => {
+            let l = infer_expr(infer, scope, left)?;
+            let r = infer_expr(infer, scope, right)?;
+            let elem = infer.fresh();
+            infer.unify(&l, &Type::list(elem.clone()), "left of ⊔")?;
+            infer.unify(&r, &Type::list(elem.clone()), "right of ⊔")?;
+            Ok(Type::list(elem))
+        }
+        Expr::FlatMap { func } => {
+            let a = infer.fresh();
+            let r = infer_fun_applied_to(infer, scope, func, a.clone(), "flatMap function")?;
+            let b = infer.fresh();
+            infer.unify(&r, &Type::list(b.clone()), "flatMap function result")?;
+            Ok(Type::fun(Type::list(a), Type::list(b)))
+        }
+        Expr::FoldL { init, func } => {
+            let c = infer_expr(infer, scope, init)?;
+            let a = infer.fresh();
+            let step_arg = Type::tuple(vec![c.clone(), a.clone()]);
+            let r = infer_fun_applied_to(infer, scope, func, step_arg, "foldL step function")?;
+            infer.unify(&r, &c, "foldL step function result")?;
+            Ok(Type::fun(Type::list(a), c))
+        }
+        Expr::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let c = infer_expr(infer, scope, cond)?;
+            infer.unify(&c, &Type::Bool, "if condition")?;
+            let t = infer_expr(infer, scope, then_branch)?;
+            let e = infer_expr(infer, scope, else_branch)?;
+            infer.unify(&t, &e, "if branches")?;
+            Ok(t)
+        }
+        Expr::Prim { op, args } => {
+            let mut ts = Vec::with_capacity(args.len());
+            for a in args {
+                ts.push(infer_expr(infer, scope, a)?);
+            }
+            infer_prim(infer, *op, &ts)
+        }
+        Expr::For {
+            var,
+            block,
+            source,
+            body,
+            ..
+        } => {
+            let s = infer_expr(infer, scope, source)?;
+            let elem = infer.fresh();
+            infer.unify(&s, &Type::list(elem.clone()), "for source")?;
+            // Block size 1 binds elements; larger/symbolic blocks bind
+            // sub-lists (paper rule apply-block).
+            let bound_ty = if block.is_one() {
+                elem
+            } else {
+                Type::list(elem)
+            };
+            let shadowed = scope.insert(var.clone(), bound_ty);
+            let b = infer_expr(infer, scope, body)?;
+            restore(scope, var, shadowed);
+            let out_elem = infer.fresh();
+            infer.unify(&b, &Type::list(out_elem.clone()), "for body")?;
+            Ok(Type::list(out_elem))
+        }
+        Expr::DefRef(def) => def_scheme(infer, def),
+        Expr::Sized { expr, .. } => infer_expr(infer, scope, expr),
+    }
+}
+
+fn restore(scope: &mut BTreeMap<String, Type>, name: &str, old: Option<Type>) {
+    match old {
+        Some(t) => {
+            scope.insert(name.to_string(), t);
+        }
+        None => {
+            scope.remove(name);
+        }
+    }
+}
+
+/// Simple polymorphic schemes; shape-dependent definitions are rejected here
+/// and handled in [`infer_app`].
+fn def_scheme(infer: &mut Infer, def: &DefName) -> Result<Type, TypeError> {
+    match def {
+        DefName::Head => {
+            let a = infer.fresh();
+            Ok(Type::fun(Type::list(a.clone()), a))
+        }
+        DefName::Tail => {
+            let a = infer.fresh();
+            Ok(Type::fun(Type::list(a.clone()), Type::list(a)))
+        }
+        DefName::Length => {
+            let a = infer.fresh();
+            Ok(Type::fun(Type::list(a), Type::Int))
+        }
+        DefName::Avg => Ok(Type::fun(Type::list(Type::Int), Type::Int)),
+        DefName::Mrg => {
+            let a = infer.fresh();
+            let l = Type::list(a);
+            let pair = Type::tuple(vec![l.clone(), l.clone()]);
+            Ok(Type::fun(
+                pair.clone(),
+                Type::tuple(vec![l, pair]),
+            ))
+        }
+        DefName::Zip(n) => {
+            let elems: Vec<Type> = (0..*n).map(|_| infer.fresh()).collect();
+            let lists: Vec<Type> = elems.iter().cloned().map(Type::list).collect();
+            let in_tuple = Type::Tuple(lists.clone());
+            let out = Type::tuple(vec![
+                Type::list(Type::Tuple(elems)),
+                Type::Tuple(lists),
+            ]);
+            Ok(Type::fun(in_tuple, out))
+        }
+        DefName::HashPartition(_) => {
+            let a = infer.fresh();
+            Ok(Type::fun(
+                Type::list(a.clone()),
+                Type::list(Type::list(a)),
+            ))
+        }
+        DefName::TreeFold(_) | DefName::UnfoldR { .. } | DefName::Partition | DefName::FuncPow(_) => {
+            Err(TypeError::BareDefinition(def.name()))
+        }
+    }
+}
+
+fn infer_app(
+    infer: &mut Infer,
+    scope: &mut BTreeMap<String, Type>,
+    func: &Expr,
+    arg: &Expr,
+) -> Result<Type, TypeError> {
+    // Saturated `unfoldR(f)(seed)` with a λ step: the step's parameter type
+    // comes from the *seed*, so infer the seed first and check the step
+    // against it (chicken-and-egg otherwise: the λ's projections need the
+    // tuple shape).
+    if let Expr::App {
+        func: inner_func,
+        arg: step,
+    } = func
+    {
+        if matches!(&**inner_func, Expr::DefRef(DefName::UnfoldR { .. }))
+            && matches!(&**step, Expr::Lam { .. } | Expr::Sized { .. })
+        {
+            let seed_ty = infer_expr(infer, scope, arg)?;
+            let seed_ty = infer.resolve(&seed_ty);
+            let Type::Tuple(lists) = &seed_ty else {
+                return Err(TypeError::UnresolvedShape {
+                    def: "unfoldR".into(),
+                    ty: seed_ty,
+                });
+            };
+            let step_out =
+                infer_fun_applied_to(infer, scope, step, seed_ty.clone(), "unfoldR step")?;
+            let tr = infer.fresh();
+            let expected = Type::tuple(vec![
+                Type::list(tr.clone()),
+                Type::Tuple(lists.clone()),
+            ]);
+            infer.unify(&step_out, &expected, "unfoldR step result")?;
+            return Ok(Type::list(tr));
+        }
+    }
+    // Shape-dependent definition applications.
+    if let Expr::DefRef(def) = func {
+        match def {
+            DefName::UnfoldR { .. } => {
+                // unfoldR(f) where f : ⟨[t1..tn]⟩ → ⟨[tr], ⟨[t1..tn]⟩⟩.
+                let f = infer_expr(infer, scope, arg)?;
+                let f = infer.resolve(&f);
+                if let Type::Fun(input, output) = &f {
+                    if let (Type::Tuple(ins), Type::Tuple(outs)) = (&**input, &**output) {
+                        if outs.len() == 2 {
+                            if let Type::List(tr) = &outs[0] {
+                                infer.unify(&outs[1], input, "unfoldR state")?;
+                                let _ = ins;
+                                return Ok(Type::fun((**input).clone(), Type::list((**tr).clone())));
+                            }
+                        }
+                    }
+                }
+                return Err(TypeError::UnresolvedShape {
+                    def: def.name(),
+                    ty: f,
+                });
+            }
+            DefName::Partition => {
+                let l = infer_expr(infer, scope, arg)?;
+                let l = infer.resolve(&l);
+                if let Type::List(elem) = &l {
+                    if let Type::Tuple(items) = &**elem {
+                        if items.len() >= 2 {
+                            let key = items[0].clone();
+                            let rest = if items.len() == 2 {
+                                items[1].clone()
+                            } else {
+                                Type::Tuple(items[1..].to_vec())
+                            };
+                            return Ok(Type::list(Type::tuple(vec![
+                                key,
+                                Type::list(rest),
+                            ])));
+                        }
+                    }
+                }
+                return Err(TypeError::UnresolvedShape {
+                    def: def.name(),
+                    ty: l,
+                });
+            }
+            DefName::TreeFold(k) => {
+                // treeFold[k](⟨c, f⟩) : [a] → a with f : ⟨a×k⟩ → a.
+                let n = const_arity(def, k)?;
+                let t = infer_expr(infer, scope, arg)?;
+                let a = infer.fresh();
+                let f_in = Type::Tuple(vec![a.clone(); n]);
+                let expected = Type::tuple(vec![a.clone(), Type::fun(f_in, a.clone())]);
+                infer.unify(&t, &expected, "treeFold arguments")?;
+                return Ok(Type::fun(Type::list(a.clone()), a));
+            }
+            DefName::FuncPow(k) => {
+                let width = 1usize << *k;
+                // funcPow[k](mrg) is the 2^k-way merge *step* (paper §6.2,
+                // the unfoldR variant of inc-branching).
+                if matches!(arg, Expr::DefRef(DefName::Mrg)) {
+                    let a = infer.fresh();
+                    let lists = Type::Tuple(vec![Type::list(a.clone()); width]);
+                    return Ok(Type::fun(
+                        lists.clone(),
+                        Type::tuple(vec![Type::list(a), lists]),
+                    ));
+                }
+                // Generic binary-function power: f : ⟨a,a⟩ → a.
+                let f = infer_expr(infer, scope, arg)?;
+                let a = infer.fresh();
+                infer.unify(
+                    &f,
+                    &Type::fun(Type::tuple(vec![a.clone(), a.clone()]), a.clone()),
+                    "funcPow argument",
+                )?;
+                return Ok(Type::fun(Type::Tuple(vec![a.clone(); width]), a));
+            }
+            _ => {}
+        }
+    }
+    let a = infer_expr(infer, scope, arg)?;
+    infer_fun_applied_to(infer, scope, func, a, "application")
+}
+
+/// Infers the result type of `func` applied to an argument of type `arg_ty`.
+///
+/// When `func` is syntactically a λ, the parameter is bound to `arg_ty`
+/// *before* the body is inferred, so that tuple projections on the parameter
+/// resolve (OCAL's multi-argument functions are all tuple-typed lambdas —
+/// without this, `λ⟨a, x⟩`-style code would need type annotations).
+fn infer_fun_applied_to(
+    infer: &mut Infer,
+    scope: &mut BTreeMap<String, Type>,
+    func: &Expr,
+    arg_ty: Type,
+    context: &str,
+) -> Result<Type, TypeError> {
+    match func {
+        Expr::Lam { param, body } => {
+            let shadowed = scope.insert(param.clone(), arg_ty);
+            let r = infer_expr(infer, scope, body);
+            restore(scope, param, shadowed);
+            r
+        }
+        Expr::Sized { expr, .. } => infer_fun_applied_to(infer, scope, expr, arg_ty, context),
+        other => {
+            let f = infer_expr(infer, scope, other)?;
+            let r = infer.fresh();
+            infer.unify(&f, &Type::fun(arg_ty, r.clone()), context)?;
+            Ok(r)
+        }
+    }
+}
+
+fn infer_prim(infer: &mut Infer, op: PrimOp, args: &[Type]) -> Result<Type, TypeError> {
+    match op {
+        PrimOp::Eq | PrimOp::Ne | PrimOp::Lt | PrimOp::Le | PrimOp::Gt | PrimOp::Ge => {
+            infer.unify(&args[0], &args[1], "comparison operands")?;
+            Ok(Type::Bool)
+        }
+        PrimOp::Add | PrimOp::Sub | PrimOp::Mul | PrimOp::Div | PrimOp::Mod => {
+            infer.unify(&args[0], &Type::Int, "arithmetic operand")?;
+            infer.unify(&args[1], &Type::Int, "arithmetic operand")?;
+            Ok(Type::Int)
+        }
+        PrimOp::And | PrimOp::Or => {
+            infer.unify(&args[0], &Type::Bool, "boolean operand")?;
+            infer.unify(&args[1], &Type::Bool, "boolean operand")?;
+            Ok(Type::Bool)
+        }
+        PrimOp::Not => {
+            infer.unify(&args[0], &Type::Bool, "boolean operand")?;
+            Ok(Type::Bool)
+        }
+        PrimOp::Hash => Ok(Type::Int),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Expr as E;
+
+    fn pair_rel() -> Type {
+        Type::list(Type::tuple(vec![Type::Int, Type::Int]))
+    }
+
+    fn join_env() -> TypeEnv {
+        let mut env = TypeEnv::new();
+        env.insert("R".into(), pair_rel());
+        env.insert("S".into(), pair_rel());
+        env
+    }
+
+    fn naive_join() -> Expr {
+        let cond = E::binop(PrimOp::Eq, E::var("x").proj(1), E::var("y").proj(1));
+        let body = E::if_(
+            cond,
+            E::tuple(vec![E::var("x"), E::var("y")]).singleton(),
+            E::Empty,
+        );
+        E::for_each("x", E::var("R"), E::for_each("y", E::var("S"), body))
+    }
+
+    #[test]
+    fn join_types_as_list_of_pairs() {
+        let t = typecheck(&naive_join(), &join_env()).unwrap();
+        let pair = Type::tuple(vec![Type::Int, Type::Int]);
+        assert_eq!(t, Type::list(Type::tuple(vec![pair.clone(), pair])));
+    }
+
+    #[test]
+    fn blocked_for_binds_sublists() {
+        // for (xb [k] <- R) for (x <- xb) [x]  : [<Int,Int>]
+        let inner = E::for_each("x", E::var("xb"), E::var("x").singleton());
+        let e = E::for_blocked(
+            "xb",
+            BlockSize::Param("k".into()),
+            E::var("R"),
+            BlockSize::one(),
+            inner,
+        );
+        let t = typecheck(&e, &join_env()).unwrap();
+        assert_eq!(t, pair_rel());
+    }
+
+    #[test]
+    fn fold_length() {
+        // foldL(0, \a. a.1 + 1)(R)
+        let step = E::lam(
+            "a",
+            E::binop(PrimOp::Add, E::var("a").proj(1), E::Int(1)),
+        );
+        let e = E::fold_l(E::Int(0), step).app(E::var("R"));
+        assert_eq!(typecheck(&e, &join_env()).unwrap(), Type::Int);
+    }
+
+    #[test]
+    fn head_is_polymorphic() {
+        let env: TypeEnv = [("L".to_string(), Type::list(Type::Str))].into_iter().collect();
+        let e = E::def(DefName::Head).app(E::var("L"));
+        assert_eq!(typecheck(&e, &env).unwrap(), Type::Str);
+    }
+
+    #[test]
+    fn unfoldr_mrg_merges_two_lists() {
+        let env: TypeEnv = [(
+            "P".to_string(),
+            Type::tuple(vec![Type::list(Type::Int), Type::list(Type::Int)]),
+        )]
+        .into_iter()
+        .collect();
+        let e = E::def(DefName::unfoldr())
+            .app(E::def(DefName::Mrg))
+            .app(E::var("P"));
+        assert_eq!(typecheck(&e, &env).unwrap(), Type::list(Type::Int));
+    }
+
+    #[test]
+    fn treefold_insertion_sort_types() {
+        // foldL([], unfoldR(mrg)) : [[Int]] -> [Int]
+        let env: TypeEnv = [("R".to_string(), Type::list(Type::list(Type::Int)))]
+            .into_iter()
+            .collect();
+        let sort = E::fold_l(E::Empty, E::def(DefName::unfoldr()).app(E::def(DefName::Mrg)))
+            .app(E::var("R"));
+        assert_eq!(typecheck(&sort, &env).unwrap(), Type::list(Type::Int));
+
+        // treeFold[4]([], unfoldR(funcPow[2](mrg))) : [[Int]] -> [Int]
+        let step = E::def(DefName::unfoldr()).app(E::def(DefName::FuncPow(2)).app(E::def(DefName::Mrg)));
+        let tf = E::def(DefName::TreeFold(BlockSize::Const(4)))
+            .app(E::tuple(vec![E::Empty, step]))
+            .app(E::var("R"));
+        assert_eq!(typecheck(&tf, &env).unwrap(), Type::list(Type::Int));
+    }
+
+    #[test]
+    fn zip_for_column_store() {
+        let env: TypeEnv = [(
+            "C".to_string(),
+            Type::tuple(vec![Type::list(Type::Int), Type::list(Type::Int)]),
+        )]
+        .into_iter()
+        .collect();
+        let e = E::def(DefName::unfoldr())
+            .app(E::def(DefName::Zip(2)))
+            .app(E::var("C"));
+        assert_eq!(
+            typecheck(&e, &env).unwrap(),
+            Type::list(Type::tuple(vec![Type::Int, Type::Int]))
+        );
+    }
+
+    #[test]
+    fn partition_groups_by_first() {
+        let env: TypeEnv = [("R".to_string(), pair_rel())].into_iter().collect();
+        let e = E::def(DefName::Partition).app(E::var("R"));
+        assert_eq!(
+            typecheck(&e, &env).unwrap(),
+            Type::list(Type::tuple(vec![Type::Int, Type::list(Type::Int)]))
+        );
+    }
+
+    #[test]
+    fn hash_partition_buckets() {
+        let env: TypeEnv = [("R".to_string(), pair_rel())].into_iter().collect();
+        let e = E::def(DefName::HashPartition(BlockSize::Param("s".into()))).app(E::var("R"));
+        assert_eq!(
+            typecheck(&e, &env).unwrap(),
+            Type::list(pair_rel())
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let env = join_env();
+        assert!(matches!(
+            typecheck(&E::var("missing"), &env),
+            Err(TypeError::UnboundVariable(_))
+        ));
+        let bad = E::binop(PrimOp::Add, E::var("R"), E::Int(1));
+        assert!(matches!(
+            typecheck(&bad, &env),
+            Err(TypeError::Mismatch { .. })
+        ));
+        let proj = E::var("R").proj(3);
+        assert!(matches!(
+            typecheck(&proj, &env),
+            Err(TypeError::BadProjection { .. })
+        ));
+    }
+
+    #[test]
+    fn if_branches_must_agree() {
+        let e = E::if_(E::Bool(true), E::Int(1), E::Str("x".into()));
+        assert!(matches!(
+            typecheck(&e, &TypeEnv::new()),
+            Err(TypeError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn order_inputs_wrapper_types() {
+        // λp. f(if length(p.1) <= length(p.2) then <p.1,p.2> else <p.2,p.1>)
+        // with f the naive join as a lambda over the pair.
+        let body = naive_join()
+            .subst("R", &E::var("q").proj(1))
+            .subst("S", &E::var("q").proj(2));
+        let f = E::lam("q", body);
+        let len = |i| E::def(DefName::Length).app(E::var("p").proj(i));
+        let sel = E::if_(
+            E::binop(PrimOp::Le, len(1), len(2)),
+            E::tuple(vec![E::var("p").proj(1), E::var("p").proj(2)]),
+            E::tuple(vec![E::var("p").proj(2), E::var("p").proj(1)]),
+        );
+        let wrapped = E::lam("p", f.app(sel));
+        let t = infer_type(
+            &wrapped,
+            &TypeEnv::new(),
+        );
+        // Applied to the pair of relations it must produce the join type.
+        let applied = wrapped.app(E::tuple(vec![E::var("R"), E::var("S")]));
+        let ty = typecheck(&applied, &join_env()).unwrap();
+        let pair = Type::tuple(vec![Type::Int, Type::Int]);
+        assert_eq!(ty, Type::list(Type::tuple(vec![pair.clone(), pair])));
+        assert!(t.is_ok());
+    }
+}

@@ -1,0 +1,141 @@
+//! The OCAL type system (paper Figure 1).
+//!
+//! Values are built from a totally ordered domain `D` of atomic values
+//! (integers, booleans, strings) by tuple and list construction:
+//!
+//! ```text
+//! τ ::= D | ⟨τ, …, τ⟩ | [τ]
+//! ```
+//!
+//! Functions have types `τ₁ → τ₂` but are not themselves storable inside
+//! lists or tuples of data (they appear only in function position); the type
+//! checker nevertheless represents them uniformly.
+
+use std::fmt;
+
+/// An OCAL type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Type {
+    /// Atomic integers (element of the ordered domain `D`).
+    Int,
+    /// Atomic booleans.
+    Bool,
+    /// Atomic strings.
+    Str,
+    /// Tuple type `⟨τ₁, …, τₙ⟩`.
+    Tuple(Vec<Type>),
+    /// List type `[τ]`.
+    List(Box<Type>),
+    /// Function type `τ₁ → τ₂`.
+    Fun(Box<Type>, Box<Type>),
+    /// Unification variable (only present during type inference).
+    Var(u32),
+}
+
+impl Type {
+    /// Convenience constructor for `[elem]`.
+    pub fn list(elem: Type) -> Type {
+        Type::List(Box::new(elem))
+    }
+
+    /// Convenience constructor for `⟨items…⟩`.
+    pub fn tuple(items: Vec<Type>) -> Type {
+        Type::Tuple(items)
+    }
+
+    /// Convenience constructor for `arg → ret`.
+    pub fn fun(arg: Type, ret: Type) -> Type {
+        Type::Fun(Box::new(arg), Box::new(ret))
+    }
+
+    /// The element type if this is a list type.
+    pub fn elem(&self) -> Option<&Type> {
+        match self {
+            Type::List(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// True for the atomic domain `D` (no tuples/lists/functions inside).
+    pub fn is_atomic(&self) -> bool {
+        matches!(self, Type::Int | Type::Bool | Type::Str)
+    }
+
+    /// True if the type contains no unification variables.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Type::Int | Type::Bool | Type::Str => true,
+            Type::Tuple(items) => items.iter().all(Type::is_ground),
+            Type::List(e) => e.is_ground(),
+            Type::Fun(a, r) => a.is_ground() && r.is_ground(),
+            Type::Var(_) => false,
+        }
+    }
+
+    /// True if the type describes first-order data (no functions), i.e. a
+    /// value that can be stored on a device.
+    pub fn is_data(&self) -> bool {
+        match self {
+            Type::Int | Type::Bool | Type::Str => true,
+            Type::Tuple(items) => items.iter().all(Type::is_data),
+            Type::List(e) => e.is_data(),
+            Type::Fun(_, _) | Type::Var(_) => false,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "Int"),
+            Type::Bool => write!(f, "Bool"),
+            Type::Str => write!(f, "Str"),
+            Type::Tuple(items) => {
+                write!(f, "<")?;
+                for (i, t) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ">")
+            }
+            Type::List(e) => write!(f, "[{e}]"),
+            Type::Fun(a, r) => match **a {
+                Type::Fun(_, _) => write!(f, "({a}) -> {r}"),
+                _ => write!(f, "{a} -> {r}"),
+            },
+            Type::Var(v) => write!(f, "?t{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        // The paper's example: a join operator over two binary relations on D:
+        // <[<D,D>], [<D,D>]> -> [<D,D,D,D>]
+        let d = Type::Int;
+        let rel = Type::list(Type::tuple(vec![d.clone(), d.clone()]));
+        let join = Type::fun(
+            Type::tuple(vec![rel.clone(), rel]),
+            Type::list(Type::tuple(vec![d.clone(), d.clone(), d.clone(), d])),
+        );
+        assert_eq!(
+            join.to_string(),
+            "<[<Int, Int>], [<Int, Int>]> -> [<Int, Int, Int, Int>]"
+        );
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Type::Int.is_atomic());
+        assert!(!Type::list(Type::Int).is_atomic());
+        assert!(Type::list(Type::tuple(vec![Type::Int, Type::Str])).is_data());
+        assert!(!Type::fun(Type::Int, Type::Int).is_data());
+        assert!(!Type::List(Box::new(Type::Var(0))).is_ground());
+    }
+}

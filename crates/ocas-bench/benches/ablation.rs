@@ -1,0 +1,49 @@
+//! Ablation benches for DESIGN.md §5's design choices:
+//! seq-ac on/off, order-inputs on/off, optimizer variant, dedup on/off.
+//! Each reports the metric of interest via Criterion's measurement of the
+//! *synthesis + estimate* pipeline with the feature removed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn estimate_with_excludes(excludes: &[&'static str]) -> f64 {
+    let mut e = ocas::experiments::bnl_no_writeout();
+    e.depth = 4;
+    e.max_programs = 300;
+    e.exclude_rules = {
+        let mut v = vec!["hash-part", "prefetch", "fldL-to-trfld"];
+        v.extend_from_slice(excludes);
+        v
+    };
+    e.synthesize().unwrap().best.seconds
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+
+    // seq-ac: removing the rule must produce a worse (or equal) best cost.
+    g.bench_function("bnl-with-seq-ac", |b| {
+        b.iter(|| estimate_with_excludes(&[]))
+    });
+    g.bench_function("bnl-without-seq-ac", |b| {
+        b.iter(|| estimate_with_excludes(&["seq-ac"]))
+    });
+    g.bench_function("bnl-without-order-inputs", |b| {
+        b.iter(|| estimate_with_excludes(&["order-inputs"]))
+    });
+    g.finish();
+
+    // Print the estimates once so the ablation delta is visible in logs.
+    let with_all = estimate_with_excludes(&[]);
+    let no_seq = estimate_with_excludes(&["seq-ac"]);
+    let no_order = estimate_with_excludes(&["order-inputs"]);
+    println!(
+        "\nablation estimates [s]: full={with_all:.1} no-seq-ac={no_seq:.1} \
+         no-order-inputs={no_order:.1}"
+    );
+    assert!(with_all <= no_seq * 1.0001, "seq-ac must not hurt");
+    assert!(with_all <= no_order * 1.0001, "order-inputs must not hurt");
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion benches for the execution-engine substrate: simulated-mode
+//! operator throughput (how fast the simulator replays paper-scale I/O).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ocas_engine::{CpuModel, Executor, JoinPred, Mode, Output, Plan, RelSpec, Relation};
+use ocas_hierarchy::presets;
+use ocas_storage::StorageSim;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine-sim");
+    g.sample_size(10);
+
+    g.bench_function("bnl-1GiB", |b| {
+        b.iter(|| {
+            let h = presets::hdd_ram(8 << 20);
+            let sm = StorageSim::from_hierarchy(&h);
+            let mut ex = Executor::new(sm, Mode::Simulated, CpuModel::default());
+            let r = Relation::create(&mut ex.sm, &RelSpec::pairs("R", "HDD", 1 << 26), false, 0)
+                .unwrap();
+            let s = Relation::create(&mut ex.sm, &RelSpec::pairs("S", "HDD", 1 << 21), false, 0)
+                .unwrap();
+            let ri = ex.add_relation(r);
+            let si = ex.add_relation(s);
+            ex.run(&Plan::BnlJoin {
+                outer: ri,
+                inner: si,
+                k1: 1 << 18,
+                k2: 1 << 17,
+                tiling: None,
+                pred: JoinPred::KeyEq,
+                order_inputs: true,
+                output: Output::Discard,
+            })
+            .unwrap()
+        })
+    });
+
+    g.bench_function("external-sort-1GiB", |b| {
+        b.iter(|| {
+            let h = presets::hdd_ram(260 * 1024);
+            let sm = StorageSim::from_hierarchy(&h);
+            let mut ex = Executor::new(sm, Mode::Simulated, CpuModel::default());
+            let mut spec = RelSpec::ints("R", "HDD", 1 << 30);
+            spec.col_bytes = 1;
+            let r = Relation::create(&mut ex.sm, &spec, false, 0).unwrap();
+            let ri = ex.add_relation(r);
+            ex.run(&Plan::ExternalSort {
+                input: ri,
+                fan_in: 512,
+                b_in: 4096,
+                b_out: 16384,
+                scratch: "HDD".into(),
+                output: Output::Discard,
+            })
+            .unwrap()
+        })
+    });
+
+    g.bench_function("faithful-grace-join", |b| {
+        b.iter(|| {
+            let h = presets::hdd_ram(1 << 25);
+            let sm = StorageSim::from_hierarchy(&h);
+            let mut ex = Executor::new(sm, Mode::Faithful, CpuModel::default());
+            let r = Relation::create(
+                &mut ex.sm,
+                &RelSpec::pairs("R", "HDD", 2000).with_key_range(200),
+                true,
+                1,
+            )
+            .unwrap();
+            let s = Relation::create(
+                &mut ex.sm,
+                &RelSpec::pairs("S", "HDD", 1000).with_key_range(200),
+                true,
+                2,
+            )
+            .unwrap();
+            let ri = ex.add_relation(r);
+            let si = ex.add_relation(s);
+            ex.run(&Plan::GraceJoin {
+                left: ri,
+                right: si,
+                partitions: 16,
+                buffer_bytes: 1 << 14,
+                spill: "HDD".into(),
+                pred: JoinPred::KeyEq,
+                output: Output::Discard,
+            })
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

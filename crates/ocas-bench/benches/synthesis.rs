@@ -1,0 +1,72 @@
+//! Criterion benches for the synthesizer itself — the paper's §7.4
+//! ("Running Time of OCAS"): search + costing time per workload, which
+//! must depend on the search space, not on the input data size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthesis");
+    g.sample_size(10);
+
+    // Input-size independence (§7.4): same search, different cardinalities.
+    for (label, x, y) in [("small", 1u64 << 12, 1u64 << 8), ("large", 1 << 26, 1 << 21)] {
+        g.bench_with_input(
+            BenchmarkId::new("bnl-join", label),
+            &(x, y),
+            |b, &(x, y)| {
+                b.iter(|| {
+                    let mut e = ocas::experiments::bnl_no_writeout();
+                    e.spec = ocas::specs::join(x, y, false);
+                    e.depth = 3;
+                    e.max_programs = 120;
+                    e.synthesize().unwrap()
+                })
+            },
+        );
+    }
+
+    g.bench_function("external-sort", |b| {
+        b.iter(|| {
+            let mut e = ocas::experiments::external_sorting();
+            e.depth = 8;
+            e.max_programs = 100;
+            e.synthesize().unwrap()
+        })
+    });
+
+    g.bench_function("aggregation", |b| {
+        b.iter(|| ocas::experiments::aggregation().synthesize().unwrap())
+    });
+    g.finish();
+}
+
+fn bench_cost_estimation(c: &mut Criterion) {
+    use ocal::parse;
+    use ocas_cost::{Annot, CostEngine, Layout};
+    use ocas_hierarchy::presets;
+    use ocas_symbolic::{Env, Expr as Sym};
+    use std::collections::BTreeMap;
+
+    let h = presets::hdd_ram(8 << 20);
+    let program = parse(
+        "for (xB [k1] <- R) for (yB [k2] <- S) for (x <- xB) for (y <- yB) \
+         if x.1 == y.1 then [<x, y>] else []",
+    )
+    .unwrap();
+    let mut annots = BTreeMap::new();
+    annots.insert("R".to_string(), Annot::relation(Sym::var("x"), 2, 8));
+    annots.insert("S".to_string(), Annot::relation(Sym::var("y"), 2, 8));
+    let layout = Layout::all_inputs_on("HDD", &["R", "S"]);
+    let stats = Env::new().with("x", 1e8).with("y", 1e6);
+
+    c.bench_function("cost/blocked-bnl", |b| {
+        b.iter(|| {
+            let engine =
+                CostEngine::new(&h, &layout, annots.clone(), stats.clone(), 8).unwrap();
+            engine.cost(&program).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_synthesis, bench_cost_estimation);
+criterion_main!(benches);

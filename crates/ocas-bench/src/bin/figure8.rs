@@ -1,0 +1,30 @@
+//! Regenerates Figure 8: estimated vs (simulated) measured running times
+//! for varying input and buffer sizes, three panels.
+//!
+//! Usage: `cargo run --release -p ocas-bench --bin figure8`
+
+use ocas_bench::fmt_secs;
+
+fn main() {
+    println!("Figure 8 — estimated vs measured (simulated) seconds\n");
+    match ocas::experiments::figure8() {
+        Ok(points) => {
+            let mut panel = "";
+            for p in &points {
+                if p.panel != panel {
+                    panel = p.panel;
+                    println!("\n== {panel} ==");
+                    println!("{:<18} {:>12} {:>12} {:>8}", "config", "estimated", "measured", "est/act");
+                }
+                println!(
+                    "{:<18} {:>12} {:>12} {:>8.2}",
+                    p.label,
+                    fmt_secs(p.estimated),
+                    fmt_secs(p.measured),
+                    p.estimated / p.measured
+                );
+            }
+        }
+        Err(e) => println!("FAILED: {e}"),
+    }
+}

@@ -1,0 +1,84 @@
+//! Regenerates the definitional figures: the Figure 4 costing table
+//! (per-edge symbolic event counts of the blocked BNL join) and the
+//! Figure 7 device constants.
+//!
+//! Usage: `cargo run -p ocas-bench --bin figures [-- fig4|fig7]`
+
+use ocal::parse;
+use ocas_cost::{Annot, CostEngine, Layout};
+use ocas_hierarchy::{presets, CostPair, DeviceKind, EdgeCosts, Hierarchy, NodeProps, Rat};
+use ocas_symbolic::{Env, Expr as Sym};
+use std::collections::BTreeMap;
+
+fn fig4() {
+    println!("Figure 4 — per-edge symbolic event counts for the blocked BNL join");
+    println!("(unary relations of Int size 1, output written to HDD)\n");
+    let mut h = Hierarchy::new(NodeProps::new("RAM", 1 << 34, DeviceKind::Ram)).unwrap();
+    h.add_child(
+        "RAM",
+        NodeProps::new("HDD", 1 << 40, DeviceKind::Hdd),
+        EdgeCosts::symmetric(CostPair::new(Rat::millis(15), Rat::new(1, 30 * 1024 * 1024))),
+    )
+    .unwrap();
+    let program = parse(
+        "for (xB [k1] <- R) for (yB [k2] <- S) for (x <- xB) for (y <- yB) \
+         if x == y then [<x, y>] else []",
+    )
+    .unwrap();
+    let mut annots = BTreeMap::new();
+    annots.insert("R".to_string(), Annot::relation(Sym::var("x"), 1, 1));
+    annots.insert("S".to_string(), Annot::relation(Sym::var("y"), 1, 1));
+    let layout = Layout::all_inputs_on("HDD", &["R", "S"]).with_output("HDD");
+    let stats = Env::new().with("x", 1000.0).with("y", 100.0);
+    let engine = CostEngine::new(&h, &layout, annots, stats, 1).unwrap();
+    let report = engine.cost(&program).unwrap();
+    let ram = h.by_name("RAM").unwrap();
+    let hdd = h.by_name("HDD").unwrap();
+    let read = report.events.edge(hdd, ram);
+    let write = report.events.edge(ram, hdd);
+    println!("result size:            {}", report.result);
+    println!("UnitTr  HDD->RAM bytes: {}", read.bytes);
+    println!("UnitTr  RAM->HDD bytes: {}", write.bytes);
+    println!("InitCom HDD->RAM:       {}", read.init);
+    println!("InitCom RAM->HDD:       {}", write.init);
+    println!("total seconds:          {}", report.seconds);
+    for c in &report.constraints {
+        println!("constraint [{}]: {} <= {}", c.label, c.lhs, c.rhs);
+    }
+}
+
+fn fig7() {
+    println!("Figure 7 — node properties and cost units (exact rationals)\n");
+    let h = presets::paper_platform(32 << 20);
+    for id in h.ids() {
+        let n = h.node(id);
+        print!(
+            "{:<6} size={:<14} pagesize={:<6}",
+            n.name, n.size, n.pagesize
+        );
+        if let Some(w) = n.max_seq_write {
+            print!(" maxSeqW={w}");
+        }
+        if let Some(p) = h.parent(id) {
+            let up = h.edge(id, p).unwrap();
+            let down = h.edge(p, id).unwrap();
+            print!(
+                "  InitCom(up/down)={}/{} s  UnitTr={}/{} s/B",
+                up.init_com, down.init_com, up.unit_tr, down.unit_tr
+            );
+        }
+        println!();
+    }
+}
+
+fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("fig4") => fig4(),
+        Some("fig7") => fig7(),
+        _ => {
+            fig4();
+            println!();
+            fig7();
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerates the paper's Table 1 against the simulated hierarchy.
+//!
+//! Usage: `cargo run --release -p ocas-bench --bin table1 [-- <filter>]`
+//! where `<filter>` is a case-insensitive substring of the row name
+//! (e.g. `bnl`, `sort`, `union`). Without a filter, all 16 rows run.
+
+use ocas_bench::{print_header, print_row};
+
+fn main() {
+    let filter: Option<String> = std::env::args().nth(1).map(|s| s.to_lowercase());
+    println!("Table 1 — cost estimates (Spec/Opt), simulated measurements (Act)");
+    println!("and synthesis statistics. See EXPERIMENTS.md for the paper-vs-ours mapping.\n");
+    print_header();
+    for e in ocas::experiments::table1() {
+        if let Some(f) = &filter {
+            if !e.name.to_lowercase().contains(f.as_str()) {
+                continue;
+            }
+        }
+        match e.run() {
+            Ok(row) => print_row(&row),
+            Err(err) => println!("{:<40} FAILED: {err}", e.name),
+        }
+    }
+    // The cache-miss companion measurement of the "BNL with cache" row.
+    if filter.as_deref().map_or(true, |f| "cache".contains(f) || f.contains("cache")) {
+        match ocas::experiments::cache_miss_comparison() {
+            Ok((untiled, tiled)) => {
+                let reduction = 100.0 * (1.0 - tiled as f64 / untiled as f64);
+                println!(
+                    "\nCache misses (faithful, reduced scale): untiled={untiled} \
+                     tiled={tiled} reduction={reduction:.1}% (paper: 98.2%)"
+                );
+            }
+            Err(e) => println!("\ncache-miss comparison FAILED: {e}"),
+        }
+    }
+}

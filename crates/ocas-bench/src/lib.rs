@@ -1,0 +1,42 @@
+//! Shared helpers for the benchmark/regeneration binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ocas::experiments::Row;
+
+/// Formats seconds for table display.
+pub fn fmt_secs(s: f64) -> String {
+    if !s.is_finite() {
+        "-".to_string()
+    } else if s >= 1e6 {
+        format!("{s:.2e}")
+    } else if s >= 100.0 {
+        format!("{s:.0}")
+    } else {
+        format!("{s:.1}")
+    }
+}
+
+/// Prints the Table 1 header.
+pub fn print_header() {
+    println!(
+        "{:<40} {:>12} {:>10} {:>10} {:>8} {:>6} {:>9}",
+        "Program", "Spec [s]", "Opt [s]", "Act [s]", "Space", "Steps", "OCAS [s]"
+    );
+    println!("{}", "-".repeat(100));
+}
+
+/// Prints one Table 1 row.
+pub fn print_row(r: &Row) {
+    println!(
+        "{:<40} {:>12} {:>10} {:>10} {:>8} {:>6} {:>9.2}",
+        r.name,
+        fmt_secs(r.spec_seconds),
+        fmt_secs(r.opt_seconds),
+        fmt_secs(r.act_seconds),
+        r.search_space,
+        r.steps,
+        r.ocas_seconds,
+    );
+}

@@ -1,0 +1,669 @@
+//! Result-size estimation — the `R(Γ, e)` rules of Figure 5.
+//!
+//! The analysis is worst-case: `if` takes the larger branch, nested lists
+//! take the maximum inner length, and definitions fall back to conservative
+//! plugins. Programmers can override any subexpression with a `Sized`
+//! annotation (paper §5.1) — this is what makes the multiset-difference
+//! estimate of §7.3 exact.
+
+use crate::annot::Annot;
+use crate::CostError;
+use ocal::{BlockSize, DefName, Expr, PrimOp};
+use ocas_symbolic::{simplify, Expr as Sym};
+use std::collections::BTreeMap;
+
+/// Context for size estimation: `Γ` plus configuration.
+#[derive(Debug, Clone)]
+pub struct SizeCtx {
+    /// Variable annotations.
+    pub gamma: BTreeMap<String, Annot>,
+    /// Byte width of `Int`/`hash` results (the paper's Figure 4 example uses
+    /// 1; the experiments use machine-width integers).
+    pub int_size: u64,
+}
+
+impl SizeCtx {
+    /// Creates a context from input annotations with the given `Int` width.
+    pub fn new(gamma: BTreeMap<String, Annot>, int_size: u64) -> SizeCtx {
+        SizeCtx { gamma, int_size }
+    }
+}
+
+/// Converts a block size into a symbolic expression.
+pub fn block_sym(b: &BlockSize) -> Sym {
+    match b {
+        BlockSize::Const(n) => Sym::int(*n as i128),
+        BlockSize::Param(p) => Sym::var(p.clone()),
+    }
+}
+
+/// Splits an application chain into its head and argument list.
+pub fn spine(e: &Expr) -> (&Expr, Vec<&Expr>) {
+    let mut head = e;
+    let mut args = Vec::new();
+    while let Expr::App { func, arg } = head {
+        args.push(&**arg);
+        head = &**func;
+    }
+    args.reverse();
+    (head, args)
+}
+
+/// Recognizes the *order-inputs* selector
+/// `if length(a) <= length(b) then <a, b> else <b, a>`
+/// and returns the two list expressions `(a, b)`.
+pub fn match_ordered_pair(e: &Expr) -> Option<(&Expr, &Expr)> {
+    let Expr::If {
+        cond,
+        then_branch,
+        else_branch,
+    } = e
+    else {
+        return None;
+    };
+    let Expr::Prim {
+        op: PrimOp::Le,
+        args,
+    } = &**cond
+    else {
+        return None;
+    };
+    let len_arg = |e: &Expr| -> Option<Expr> {
+        let (head, args) = spine(e);
+        match (head, args.as_slice()) {
+            (Expr::DefRef(DefName::Length), [l]) => Some((*l).clone()),
+            _ => None,
+        }
+    };
+    let a = len_arg(&args[0])?;
+    let b = len_arg(&args[1])?;
+    match (&**then_branch, &**else_branch) {
+        (Expr::Tuple(t), Expr::Tuple(f)) if t.len() == 2 && f.len() == 2 => {
+            if t[0] == a && t[1] == b && f[0] == b && f[1] == a {
+                // Indices into the branches keep borrows simple.
+                if let (Expr::Tuple(t), _) = (&**then_branch, ()) {
+                    return Some((&t[0], &t[1]));
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// `R(Γ, e)` — the result size of `e` as an annotated type.
+pub fn result_size(e: &Expr, ctx: &SizeCtx) -> Result<Annot, CostError> {
+    let a = go(e, &mut ctx.clone())?;
+    Ok(a.simplified())
+}
+
+fn go(e: &Expr, ctx: &mut SizeCtx) -> Result<Annot, CostError> {
+    match e {
+        Expr::Var(v) => ctx
+            .gamma
+            .get(v)
+            .cloned()
+            .ok_or_else(|| CostError::UnboundVariable(v.clone())),
+        Expr::Int(_) => Ok(Annot::atom(ctx.int_size)),
+        Expr::Bool(_) => Ok(Annot::atom(1)),
+        Expr::Str(s) => Ok(Annot::atom(s.len() as u64)),
+        // Function-forming expressions occupy no data space themselves.
+        Expr::Lam { .. } | Expr::DefRef(_) | Expr::FlatMap { .. } | Expr::FoldL { .. } => {
+            Ok(Annot::atom(0))
+        }
+        Expr::Tuple(items) => {
+            let mut out = Vec::with_capacity(items.len());
+            for i in items {
+                out.push(go(i, ctx)?);
+            }
+            Ok(Annot::Tuple(out))
+        }
+        Expr::Proj { tuple, index } => {
+            let t = go(tuple, ctx)?;
+            t.proj(*index).ok_or(CostError::BadShape {
+                context: "projection",
+            })
+        }
+        Expr::Singleton(inner) => Ok(Annot::list(go(inner, ctx)?, Sym::one())),
+        Expr::Empty => Ok(Annot::Zero),
+        Expr::Union { left, right } => {
+            let l = go(left, ctx)?;
+            let r = go(right, ctx)?;
+            Ok(l.add(&r))
+        }
+        Expr::If { .. } => {
+            if let Some((a, b)) = match_ordered_pair(e) {
+                // order-inputs selector: the result is the same pair with the
+                // smaller list first — exactly representable with min/max.
+                let aa = go(&a.clone(), ctx)?;
+                let bb = go(&b.clone(), ctx)?;
+                if let (Some(ca), Some(cb)) = (aa.card(), bb.card()) {
+                    let elem = aa
+                        .elem()
+                        .map(|e| e.join(bb.elem().unwrap_or(&Annot::Zero)))
+                        .unwrap_or(Annot::Zero);
+                    let min = simplify(&ca.clone().min(cb.clone()));
+                    let max = simplify(&ca.max(cb));
+                    return Ok(Annot::Tuple(vec![
+                        Annot::list(elem.clone(), min),
+                        Annot::list(elem, max),
+                    ]));
+                }
+            }
+            let Expr::If {
+                then_branch,
+                else_branch,
+                ..
+            } = e
+            else {
+                unreachable!()
+            };
+            let t = go(then_branch, ctx)?;
+            let f = go(else_branch, ctx)?;
+            Ok(t.join(&f))
+        }
+        Expr::Prim { op, .. } => Ok(match op {
+            PrimOp::Eq
+            | PrimOp::Ne
+            | PrimOp::Lt
+            | PrimOp::Le
+            | PrimOp::Gt
+            | PrimOp::Ge
+            | PrimOp::And
+            | PrimOp::Or
+            | PrimOp::Not => Annot::atom(1),
+            _ => Annot::atom(ctx.int_size),
+        }),
+        Expr::For {
+            var,
+            block,
+            source,
+            body,
+            ..
+        } => {
+            let src = go(source, ctx)?;
+            let card = src.card().ok_or(CostError::BadShape {
+                context: "for source",
+            })?;
+            let elem = src.elem().cloned().unwrap_or(Annot::Zero);
+            let k = block_sym(block);
+            let bound = if block.is_one() {
+                elem
+            } else {
+                Annot::list(elem, k.clone())
+            };
+            let shadowed = ctx.gamma.insert(var.clone(), bound);
+            let body_annot = go(body, ctx);
+            restore(&mut ctx.gamma, var, shadowed);
+            let body_annot = body_annot?;
+            Ok(body_annot.scale(&(card / k)))
+        }
+        Expr::Sized { hint, .. } => Ok(Annot::from_hint(hint)),
+        Expr::App { .. } => app_size(e, ctx),
+    }
+}
+
+fn restore(gamma: &mut BTreeMap<String, Annot>, name: &str, old: Option<Annot>) {
+    match old {
+        Some(a) => {
+            gamma.insert(name.to_string(), a);
+        }
+        None => {
+            gamma.remove(name);
+        }
+    }
+}
+
+fn app_size(e: &Expr, ctx: &mut SizeCtx) -> Result<Annot, CostError> {
+    let (head, args) = spine(e);
+    match head {
+        Expr::Lam { .. } => {
+            // Fold the arguments in one at a time: ((λx.b)(a1))(a2)…
+            let mut current = head.clone();
+            for arg in args {
+                let a = go(&arg.clone(), ctx)?;
+                match current {
+                    Expr::Lam { param, body } => {
+                        let shadowed = ctx.gamma.insert(param.clone(), a);
+                        // Substitute lazily: evaluate the body size with the
+                        // binding in scope, then continue with body as the
+                        // new "function" if more arguments remain.
+                        current = (*body).clone();
+                        let result = go(&current, ctx);
+                        restore(&mut ctx.gamma, &param, shadowed);
+                        return result;
+                    }
+                    _ => return Err(CostError::Unsupported("over-applied lambda")),
+                }
+            }
+            unreachable!("spine returned App head without args")
+        }
+        Expr::FlatMap { func } => {
+            let [src] = args.as_slice() else {
+                return Err(CostError::Unsupported("flatMap arity"));
+            };
+            let s = go(&(*src).clone(), ctx)?;
+            let card = s.card().ok_or(CostError::BadShape {
+                context: "flatMap source",
+            })?;
+            let elem = s.elem().cloned().unwrap_or(Annot::Zero);
+            let body = apply_fn_size(func, elem, ctx)?;
+            Ok(body.scale(&card))
+        }
+        Expr::FoldL { init, func } => {
+            let [src] = args.as_slice() else {
+                return Err(CostError::Unsupported("foldL arity"));
+            };
+            let s = go(&(*src).clone(), ctx)?;
+            let card = s.card().ok_or(CostError::BadShape {
+                context: "foldL source",
+            })?;
+            let elem = s.elem().cloned().unwrap_or(Annot::Zero);
+            fold_size(init, func, &elem, &card, ctx)
+        }
+        Expr::DefRef(def) => {
+            if args.len() < def.arity() {
+                // Partial application: a function value, no data size.
+                return Ok(Annot::atom(0));
+            }
+            def_size(def, &args, ctx)
+        }
+        Expr::Sized { hint, .. } => {
+            let _ = args;
+            Ok(Annot::from_hint(hint))
+        }
+        _ => Err(CostError::Unsupported("application head")),
+    }
+}
+
+/// Applies a function expression to an argument *annotation* and sizes the
+/// result (used for `flatMap`/`foldL` bodies and definition arguments).
+pub fn apply_fn_size(f: &Expr, arg: Annot, ctx: &mut SizeCtx) -> Result<Annot, CostError> {
+    match f {
+        Expr::Lam { param, body } => {
+            let shadowed = ctx.gamma.insert(param.clone(), arg);
+            let r = go(body, ctx);
+            restore(&mut ctx.gamma, param, shadowed);
+            r
+        }
+        Expr::Sized { hint, .. } => Ok(Annot::from_hint(hint)),
+        Expr::DefRef(def) => {
+            // A unary definition applied to a pre-sized argument.
+            def_size_with_annots(def, &[arg], ctx)
+        }
+        Expr::App { .. } => {
+            // Partially applied definition, e.g. `unfoldR(mrg)` as the
+            // foldL step function.
+            let (head, pre_args) = spine(f);
+            if let Expr::DefRef(def) = head {
+                let mut annots = Vec::with_capacity(pre_args.len() + 1);
+                for a in pre_args {
+                    annots.push(go(&a.clone(), ctx)?);
+                }
+                annots.push(arg);
+                return def_size_with_annots(def, &annots, ctx);
+            }
+            Err(CostError::Unsupported("function application head"))
+        }
+        _ => Err(CostError::Unsupported("function position expression")),
+    }
+}
+
+/// Figure 6's linear-growth model for `foldL`:
+/// `R = R(c) + card · (R(step(⟨c, elem⟩)) − R(c))`.
+fn fold_size(
+    init: &Expr,
+    func: &Expr,
+    elem: &Annot,
+    card: &Sym,
+    ctx: &mut SizeCtx,
+) -> Result<Annot, CostError> {
+    let c = go(init, ctx)?;
+    let step_arg = Annot::Tuple(vec![c.clone(), elem.clone()]);
+    let one_step = apply_fn_size(func, step_arg, ctx)?;
+    // Combine shape-wise: list cards grow linearly; scalars keep the
+    // one-step size (the common accumulate-a-counter case).
+    Ok(linear_growth(&c, &one_step, card))
+}
+
+fn linear_growth(c: &Annot, step: &Annot, card: &Sym) -> Annot {
+    match (c, step) {
+        (Annot::Zero, Annot::Zero) => Annot::Zero,
+        (
+            Annot::List { card: c0, elem: e0 },
+            Annot::List { card: c1, elem: e1 },
+        ) => {
+            let delta = simplify(&(c1.clone() - c0.clone()));
+            let grown = simplify(&(c0.clone() + card.clone() * delta));
+            Annot::list(e0.join(e1), grown)
+        }
+        (Annot::Zero, Annot::List { card: c1, elem }) => {
+            let grown = simplify(&(card.clone() * c1.clone()));
+            Annot::list((**elem).clone(), grown)
+        }
+        (Annot::Tuple(xs), Annot::Tuple(ys)) if xs.len() == ys.len() => Annot::Tuple(
+            xs.iter()
+                .zip(ys)
+                .map(|(x, y)| linear_growth(x, y, card))
+                .collect(),
+        ),
+        // Scalar accumulators keep their per-step size.
+        (_, s) if s.is_scalar() => s.clone(),
+        (c0, s) => {
+            // Fallback: linear growth on the byte size.
+            let delta = simplify(&(s.size() - c0.size()));
+            Annot::Atom(simplify(&(c0.size() + card.clone() * delta)))
+        }
+    }
+}
+
+fn def_size(def: &DefName, args: &[&Expr], ctx: &mut SizeCtx) -> Result<Annot, CostError> {
+    let mut annots = Vec::with_capacity(args.len());
+    for a in args {
+        annots.push(go(&(*a).clone(), ctx)?);
+    }
+    def_size_with_annots(def, &annots, ctx)
+}
+
+/// Size plugins for the named definitions (paper §5.3: "our system also
+/// allows the developer to define custom costs for definitions").
+pub fn def_size_with_annots(
+    def: &DefName,
+    args: &[Annot],
+    ctx: &mut SizeCtx,
+) -> Result<Annot, CostError> {
+    let wrong = || CostError::BadShape {
+        context: "definition argument",
+    };
+    match def {
+        DefName::Head => args[0].elem().cloned().ok_or_else(wrong),
+        DefName::Tail => {
+            let card = args[0].card().ok_or_else(wrong)?;
+            let elem = args[0].elem().cloned().ok_or_else(wrong)?;
+            Ok(Annot::list(elem, simplify(&(card - Sym::one()))))
+        }
+        DefName::Length | DefName::Avg => Ok(Annot::atom(ctx.int_size)),
+        DefName::Mrg => {
+            // One merge step: emits at most one element.
+            let elem = match &args[0] {
+                Annot::Tuple(items) if !items.is_empty() => items[0]
+                    .elem()
+                    .cloned()
+                    .unwrap_or(Annot::Zero),
+                _ => return Err(wrong()),
+            };
+            let out = Annot::list(elem, Sym::one());
+            Ok(Annot::Tuple(vec![out, args[0].clone()]))
+        }
+        DefName::Zip(_) => {
+            let Annot::Tuple(items) = &args[0] else {
+                return Err(wrong());
+            };
+            let heads: Vec<Annot> = items
+                .iter()
+                .map(|l| l.elem().cloned().unwrap_or(Annot::Zero))
+                .collect();
+            let out = Annot::list(Annot::Tuple(heads), Sym::one());
+            Ok(Annot::Tuple(vec![out, args[0].clone()]))
+        }
+        DefName::Partition => {
+            // Worst-case: every tuple forms its own group (documented
+            // overestimate; the costed experiments use hashPartition).
+            let card = args[0].card().ok_or_else(wrong)?;
+            let elem = args[0].elem().cloned().ok_or_else(wrong)?;
+            let (key, rest) = match &elem {
+                Annot::Tuple(items) if items.len() >= 2 => {
+                    let key = items[0].clone();
+                    let rest = if items.len() == 2 {
+                        items[1].clone()
+                    } else {
+                        Annot::Tuple(items[1..].to_vec())
+                    };
+                    (key, rest)
+                }
+                _ => return Err(wrong()),
+            };
+            Ok(Annot::list(
+                Annot::Tuple(vec![key, Annot::list(rest, card.clone())]),
+                card,
+            ))
+        }
+        DefName::HashPartition(s) => {
+            let card = args[0].card().ok_or_else(wrong)?;
+            let elem = args[0].elem().cloned().ok_or_else(wrong)?;
+            let s = block_sym(s);
+            let per_bucket = simplify(&(card / s.clone()).ceil());
+            Ok(Annot::list(Annot::list(elem, per_bucket), s))
+        }
+        DefName::UnfoldR { .. } => {
+            if args.len() != 2 {
+                return Err(CostError::Unsupported("partially applied unfoldR"));
+            }
+            let Annot::Tuple(lists) = &args[1] else {
+                return Err(wrong());
+            };
+            // The step function decides the output shape; args[0] sized the
+            // step (opaque). We conservatively emit the *sum* of input
+            // cardinalities (exact for merges, the worst case otherwise) —
+            // except when every input has the same elem and the step is a
+            // zip, which the events engine special-cases before calling us.
+            let mut card = Sym::zero();
+            let mut elem = Annot::Zero;
+            for l in lists {
+                card = card + l.card().ok_or_else(wrong)?;
+                elem = elem.join(l.elem().unwrap_or(&Annot::Zero));
+            }
+            Ok(Annot::list(elem, simplify(&card)))
+        }
+        DefName::TreeFold(_) => {
+            if args.len() != 2 {
+                return Err(CostError::Unsupported("partially applied treeFold"));
+            }
+            let seed = &args[1];
+            let card = seed.card().ok_or_else(wrong)?;
+            match seed.elem().ok_or_else(wrong)? {
+                Annot::List {
+                    elem: inner,
+                    card: inner_card,
+                } => {
+                    // Size-preserving aggregation (merge): all leaf elements
+                    // survive into the single result list.
+                    let total = simplify(&(card * inner_card.clone()));
+                    Ok(Annot::list((**inner).clone(), total))
+                }
+                scalar => Ok(scalar.clone()),
+            }
+        }
+        DefName::FuncPow(_) => Err(CostError::Unsupported(
+            "funcPow outside unfoldR/treeFold context",
+        )),
+    }
+}
+
+/// Sizes `unfoldR(zip)` applied to a tuple of lists: cardinality is the
+/// *minimum* of the inputs (zip stops at the first exhausted list).
+pub fn zip_unfold_size(lists: &Annot) -> Result<Annot, CostError> {
+    let Annot::Tuple(items) = lists else {
+        return Err(CostError::BadShape { context: "zip" });
+    };
+    let mut card: Option<Sym> = None;
+    let mut heads = Vec::with_capacity(items.len());
+    for l in items {
+        let c = l.card().ok_or(CostError::BadShape { context: "zip" })?;
+        card = Some(match card {
+            None => c,
+            Some(prev) => {
+                if prev == c {
+                    prev
+                } else {
+                    prev.min(c)
+                }
+            }
+        });
+        heads.push(l.elem().cloned().unwrap_or(Annot::Zero));
+    }
+    Ok(Annot::list(
+        Annot::Tuple(heads),
+        simplify(&card.unwrap_or_else(Sym::zero)),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocal::parse;
+
+    fn ctx_binary_join() -> SizeCtx {
+        let mut gamma = BTreeMap::new();
+        gamma.insert("R".into(), Annot::relation(Sym::var("x"), 1, 1));
+        gamma.insert("S".into(), Annot::relation(Sym::var("y"), 1, 1));
+        SizeCtx::new(gamma, 1)
+    }
+
+    #[test]
+    fn figure4_result_sizes() {
+        // The Figure 4 example: unary relations, Int size 1.
+        let ctx = ctx_binary_join();
+        let program = parse(
+            "for (xB [k1] <- R) for (yB [k2] <- S) for (x <- xB) for (y <- yB) \
+             if x == y then [<x, y>] else []",
+        )
+        .unwrap();
+        let annot = result_size(&program, &ctx).unwrap();
+        // [<1,1>]_{x·y}
+        let expect = Annot::list(
+            Annot::Tuple(vec![Annot::atom(1), Annot::atom(1)]),
+            simplify(&(Sym::var("x") * Sym::var("y"))),
+        );
+        assert_eq!(annot, expect);
+    }
+
+    #[test]
+    fn figure4_intermediate_rows() {
+        let ctx = ctx_binary_join();
+        // Row 4: for (y <- yB) ... with xB, yB, x in scope.
+        let mut inner_ctx = ctx.clone();
+        inner_ctx
+            .gamma
+            .insert("xB".into(), Annot::relation(Sym::var("k1"), 1, 1));
+        inner_ctx
+            .gamma
+            .insert("yB".into(), Annot::relation(Sym::var("k2"), 1, 1));
+        inner_ctx.gamma.insert("x".into(), Annot::atom(1));
+        let row4 = parse("for (y <- yB) if x == y then [<x, y>] else []").unwrap();
+        let annot = result_size(&row4, &inner_ctx).unwrap();
+        let expect = Annot::list(
+            Annot::Tuple(vec![Annot::atom(1), Annot::atom(1)]),
+            Sym::var("k2"),
+        );
+        assert_eq!(annot, expect, "row 4 of Figure 4");
+    }
+
+    #[test]
+    fn if_takes_worst_case() {
+        let ctx = ctx_binary_join();
+        let e = parse("if true then R else []").unwrap();
+        let annot = result_size(&e, &ctx).unwrap();
+        assert_eq!(annot, Annot::relation(Sym::var("x"), 1, 1));
+    }
+
+    #[test]
+    fn union_adds() {
+        let ctx = ctx_binary_join();
+        let e = parse("R ++ S").unwrap();
+        let annot = result_size(&e, &ctx).unwrap();
+        assert_eq!(
+            annot.card().unwrap(),
+            simplify(&(Sym::var("x") + Sym::var("y")))
+        );
+    }
+
+    #[test]
+    fn fold_sum_is_scalar() {
+        let ctx = ctx_binary_join();
+        let e = parse("foldL(0, \\a. a.1 + a.2)(R)").unwrap();
+        let annot = result_size(&e, &ctx).unwrap();
+        assert_eq!(annot, Annot::atom(1));
+    }
+
+    #[test]
+    fn fold_append_grows_linearly() {
+        let ctx = ctx_binary_join();
+        // foldL([], λa. a.1 ++ [a.2]) — the identity-ish accumulation.
+        let e = parse("foldL([], \\a. a.1 ++ [a.2])(R)").unwrap();
+        let annot = result_size(&e, &ctx).unwrap();
+        assert_eq!(annot.card().unwrap(), Sym::var("x"));
+    }
+
+    #[test]
+    fn insertion_sort_size() {
+        // foldL([], unfoldR(mrg)) over [[Int]_1]_x yields [Int]_x.
+        let mut gamma = BTreeMap::new();
+        gamma.insert(
+            "R".into(),
+            Annot::list(Annot::list(Annot::atom(1), Sym::one()), Sym::var("x")),
+        );
+        let ctx = SizeCtx::new(gamma, 1);
+        let e = parse("foldL([], unfoldR(mrg))(R)").unwrap();
+        let annot = result_size(&e, &ctx).unwrap();
+        assert_eq!(annot.card().unwrap(), Sym::var("x"));
+    }
+
+    #[test]
+    fn treefold_merge_sort_size() {
+        let mut gamma = BTreeMap::new();
+        gamma.insert(
+            "R".into(),
+            Annot::list(Annot::list(Annot::atom(1), Sym::one()), Sym::var("x")),
+        );
+        let ctx = SizeCtx::new(gamma, 1);
+        let e = parse("treeFold[4](<[], unfoldR(funcPow[2](mrg))>)(R)").unwrap();
+        let annot = result_size(&e, &ctx).unwrap();
+        assert_eq!(annot.card().unwrap(), Sym::var("x"));
+    }
+
+    #[test]
+    fn hash_partition_buckets_size() {
+        let ctx = ctx_binary_join();
+        let e = parse("hashPartition[s1](R)").unwrap();
+        let annot = result_size(&e, &ctx).unwrap();
+        assert_eq!(annot.card().unwrap(), Sym::var("s1"));
+        let bucket = annot.elem().unwrap();
+        assert_eq!(
+            bucket.card().unwrap(),
+            simplify(&(Sym::var("x") / Sym::var("s1")).ceil())
+        );
+        // Total size is preserved up to the ceiling.
+        let total = simplify(&annot.size());
+        let expect =
+            simplify(&(Sym::var("s1") * (Sym::var("x") / Sym::var("s1")).ceil()));
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn order_inputs_selector_gives_min_max() {
+        let ctx = ctx_binary_join();
+        let e =
+            parse("if length(R) <= length(S) then <R, S> else <S, R>").unwrap();
+        let annot = result_size(&e, &ctx).unwrap();
+        let Annot::Tuple(items) = &annot else {
+            panic!("expected pair, got {annot}");
+        };
+        let x = Sym::var("x");
+        let y = Sym::var("y");
+        assert_eq!(items[0].card().unwrap(), simplify(&x.clone().min(y.clone())));
+        assert_eq!(items[1].card().unwrap(), simplify(&x.max(y)));
+    }
+
+    #[test]
+    fn sized_annotation_overrides() {
+        let ctx = ctx_binary_join();
+        let base = parse("R ++ S").unwrap();
+        let e = base.sized(ocal::SizeHint::List(
+            Box::new(ocal::SizeHint::Atom(1)),
+            ocal::CardHint::Var("x".into()),
+        ));
+        let annot = result_size(&e, &ctx).unwrap();
+        assert_eq!(annot.card().unwrap(), Sym::var("x"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Three-level (Cache ← RAM ← HDD) costing: the loop-tiling experiment's
+//! cost-model side. A doubly-blocked join must charge events on *both*
+//! edges, and increasing the inner tile size must reduce the RAM→Cache
+//! initiation count — the signal that makes the synthesizer tile.
+
+use ocal::parse;
+use ocas_cost::{Annot, CostEngine, Layout};
+use ocas_hierarchy::presets;
+use ocas_symbolic::{eval, Env, Expr as Sym};
+use std::collections::BTreeMap;
+
+fn engine_report(
+    program: &str,
+) -> (
+    ocas_cost::CostReport,
+    ocas_hierarchy::Hierarchy,
+) {
+    let h = presets::hdd_ram_cache(8 << 20);
+    let p = parse(program).unwrap();
+    let mut annots = BTreeMap::new();
+    annots.insert("R".to_string(), Annot::relation(Sym::var("x"), 2, 8));
+    annots.insert("S".to_string(), Annot::relation(Sym::var("y"), 2, 8));
+    let layout = Layout::all_inputs_on("HDD", &["R", "S"]);
+    let stats = Env::new().with("x", 1e7).with("y", 1e5);
+    let engine = CostEngine::new(&h, &layout, annots, stats, 8).unwrap();
+    let report = engine.cost(&p).unwrap();
+    (report, h)
+}
+
+#[test]
+fn tiled_join_charges_both_edges() {
+    let (report, h) = engine_report(
+        "for (xB [k1] <- R) for (yB [k2] <- S) for (xT [k3] <- xB) for (yT [k4] <- yB) \
+         for (x <- xT) for (y <- yT) if x.1 == y.1 then [<x, y>] else []",
+    );
+    let hdd = h.by_name("HDD").unwrap();
+    let ram = h.by_name("RAM").unwrap();
+    let cache = h.by_name("Cache").unwrap();
+    let disk = report.events.edge(hdd, ram);
+    let upper = report.events.edge(ram, cache);
+    assert!(!disk.init.is_zero(), "HDD→RAM events missing");
+    assert!(!upper.init.is_zero(), "RAM→Cache events missing");
+    // The RAM→Cache initiations shrink with the tile sizes k3/k4.
+    let base = Env::new()
+        .with("x", 1e7)
+        .with("y", 1e5)
+        .with("k1", 65536.0)
+        .with("k2", 65536.0);
+    let small = eval(&upper.init, &base.clone().with("k3", 8.0).with("k4", 8.0)).unwrap();
+    let large = eval(&upper.init, &base.with("k3", 512.0).with("k4", 512.0)).unwrap();
+    assert!(
+        large < small / 10.0,
+        "bigger tiles must cut cache initiations: {small} -> {large}"
+    );
+}
+
+#[test]
+fn untiled_join_pays_per_element_cache_initiations() {
+    let (report, h) = engine_report(
+        "for (xB [k1] <- R) for (yB [k2] <- S) for (x <- xB) for (y <- yB) \
+         if x.1 == y.1 then [<x, y>] else []",
+    );
+    let ram = h.by_name("RAM").unwrap();
+    let cache = h.by_name("Cache").unwrap();
+    let upper = report.events.edge(ram, cache);
+    // Element-at-a-time consumption of the RAM-resident blocks: the inner
+    // loops charge k per execution — the tiled program beats this.
+    let env = Env::new()
+        .with("x", 1e7)
+        .with("y", 1e5)
+        .with("k1", 65536.0)
+        .with("k2", 65536.0);
+    let untiled = eval(&upper.init, &env).unwrap();
+    assert!(untiled > 1e6, "expected heavy per-element initiations, got {untiled}");
+}
+
+#[test]
+fn capacity_constraints_cover_both_levels() {
+    let (report, _) = engine_report(
+        "for (xB [k1] <- R) for (yB [k2] <- S) for (xT [k3] <- xB) for (yT [k4] <- yB) \
+         for (x <- xT) for (y <- yT) if x.1 == y.1 then [<x, y>] else []",
+    );
+    let labels: Vec<&str> = report
+        .constraints
+        .iter()
+        .map(|c| c.label.as_str())
+        .collect();
+    assert!(
+        labels.iter().any(|l| l.contains("RAM")),
+        "RAM constraint missing: {labels:?}"
+    );
+    assert!(
+        labels.iter().any(|l| l.contains("Cache")),
+        "Cache constraint missing: {labels:?}"
+    );
+    // k3/k4 participate in the Cache capacity constraint.
+    let cache_c = report
+        .constraints
+        .iter()
+        .find(|c| c.label.contains("Cache"))
+        .unwrap();
+    let vars = cache_c.lhs.vars();
+    assert!(
+        vars.contains("k3") && vars.contains("k4"),
+        "tile sizes must be capacity-bounded: {}",
+        cache_c.lhs
+    );
+}

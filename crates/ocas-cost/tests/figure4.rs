@@ -1,0 +1,313 @@
+//! Replays the paper's Figure 4: the per-edge event counts of a blocked
+//! Block-Nested-Loops join over two unary `[Int]` relations (`Int` size 1)
+//! on an HDD + RAM hierarchy, with output written back to the HDD.
+//!
+//! Expected totals (top row of the figure, which includes all sub-rows):
+//!
+//! | quantity              | value            |
+//! |-----------------------|------------------|
+//! | UnitTr HDD→RAM bytes  | `x + (x/k1)·y`   |
+//! | UnitTr RAM→HDD bytes  | `2·x·y`          |
+//! | InitCom HDD→RAM count | `x/k1 + x·y/(k1·k2)` |
+//! | InitCom RAM→HDD count | `2·x·y/b_out`    |
+
+use ocal::parse;
+use ocas_cost::{Annot, CostEngine, Layout};
+use ocas_hierarchy::{CostPair, DeviceKind, EdgeCosts, Hierarchy, NodeProps, Rat};
+use ocas_symbolic::{simplify, Env, Expr as Sym};
+use std::collections::BTreeMap;
+
+/// HDD+RAM hierarchy with byte-granular pages so the figure's counts match
+/// exactly (the paper's example ignores paging).
+fn figure4_hierarchy() -> Hierarchy {
+    let mut h = Hierarchy::new(NodeProps::new("RAM", 1 << 34, DeviceKind::Ram)).unwrap();
+    h.add_child(
+        "RAM",
+        NodeProps::new("HDD", 1 << 40, DeviceKind::Hdd),
+        EdgeCosts::symmetric(CostPair::new(Rat::millis(15), Rat::new(1, 30 * 1024 * 1024))),
+    )
+    .unwrap();
+    h
+}
+
+fn v(n: &str) -> Sym {
+    Sym::var(n)
+}
+
+#[test]
+fn figure4_event_counts() {
+    let h = figure4_hierarchy();
+    let program = parse(
+        "for (xB [k1] <- R) for (yB [k2] <- S) for (x <- xB) for (y <- yB) \
+         if x == y then [<x, y>] else []",
+    )
+    .unwrap();
+
+    let mut annots = BTreeMap::new();
+    annots.insert("R".to_string(), Annot::relation(v("x"), 1, 1));
+    annots.insert("S".to_string(), Annot::relation(v("y"), 1, 1));
+    let layout = Layout::all_inputs_on("HDD", &["R", "S"]).with_output("HDD");
+    let stats = Env::new().with("x", 1000.0).with("y", 100.0);
+
+    let engine = CostEngine::new(&h, &layout, annots, stats, 1).unwrap();
+    let report = engine.cost(&program).unwrap();
+
+    let ram = h.by_name("RAM").unwrap();
+    let hdd = h.by_name("HDD").unwrap();
+
+    let read = report.events.edge(hdd, ram);
+    let write = report.events.edge(ram, hdd);
+
+    let x = v("x");
+    let y = v("y");
+    let k1 = v("k1");
+    let k2 = v("k2");
+
+    assert_eq!(
+        read.bytes,
+        simplify(&(x.clone() + x.clone() * y.clone() / k1.clone())),
+        "UnitTr HDD→RAM must be x + (x/k1)·y"
+    );
+    assert_eq!(
+        read.init,
+        simplify(&(x.clone() / k1.clone() + x.clone() * y.clone() / (k1.clone() * k2.clone()))),
+        "InitCom HDD→RAM must be x/k1 + x·y/(k1·k2)"
+    );
+    assert_eq!(
+        write.bytes,
+        simplify(&(Sym::int(2) * x.clone() * y.clone())),
+        "UnitTr RAM→HDD must be 2·x·y"
+    );
+    assert_eq!(
+        write.init,
+        simplify(&(Sym::int(2) * x.clone() * y.clone() / v("b_out"))),
+        "InitCom RAM→HDD must be 2·x·y/b_out (the figure's k_o)"
+    );
+
+    // Result size matches the figure: [<1,1>]_{x·y}.
+    assert_eq!(
+        report.result.card().unwrap(),
+        simplify(&(x.clone() * y.clone()))
+    );
+    // The RAM capacity constraint mentions both block parameters.
+    let cap = report
+        .constraints
+        .iter()
+        .find(|c| c.label.contains("RAM"))
+        .expect("RAM capacity constraint");
+    let vars = cap.lhs.vars();
+    assert!(vars.contains("k1") && vars.contains("k2"), "{}", cap.lhs);
+    assert!(report.params.contains("k1"));
+    assert!(report.params.contains("b_out"));
+}
+
+#[test]
+fn naive_join_charges_one_seek_per_tuple() {
+    let h = figure4_hierarchy();
+    let program =
+        parse("for (x <- R) for (y <- S) if x == y then [<x, y>] else []").unwrap();
+    let mut annots = BTreeMap::new();
+    annots.insert("R".to_string(), Annot::relation(v("x"), 1, 1));
+    annots.insert("S".to_string(), Annot::relation(v("y"), 1, 1));
+    let layout = Layout::all_inputs_on("HDD", &["R", "S"]);
+    let stats = Env::new().with("x", 1000.0).with("y", 100.0);
+    let engine = CostEngine::new(&h, &layout, annots, stats, 1).unwrap();
+    let report = engine.cost(&program).unwrap();
+    let ram = h.by_name("RAM").unwrap();
+    let hdd = h.by_name("HDD").unwrap();
+    let read = report.events.edge(hdd, ram);
+    let x = v("x");
+    let y = v("y");
+    // One seek per tuple: x + x·y.
+    assert_eq!(read.init, simplify(&(x.clone() + x.clone() * y.clone())));
+    assert_eq!(read.bytes, simplify(&(x.clone() + x * y)));
+    // No output events (consumed by the CPU).
+    assert!(report.events.edge(ram, hdd).bytes.is_zero());
+}
+
+#[test]
+fn seq_annotation_collapses_inner_scan_seeks() {
+    let h = figure4_hierarchy();
+    // The paper's derivation step: seq-ac on the inner loop over S.
+    let program = parse(
+        "for (xB [k1] <- R) for[HDD >> RAM] (yB [k2] <- S) for (x <- xB) for (y <- yB) \
+         if x == y then [<x, y>] else []",
+    )
+    .unwrap();
+    let mut annots = BTreeMap::new();
+    annots.insert("R".to_string(), Annot::relation(v("x"), 1, 1));
+    annots.insert("S".to_string(), Annot::relation(v("y"), 1, 1));
+    let layout = Layout::all_inputs_on("HDD", &["R", "S"]);
+    let stats = Env::new().with("x", 1000.0).with("y", 100.0);
+    let engine = CostEngine::new(&h, &layout, annots, stats, 1).unwrap();
+    let report = engine.cost(&program).unwrap();
+    let ram = h.by_name("RAM").unwrap();
+    let hdd = h.by_name("HDD").unwrap();
+    let read = report.events.edge(hdd, ram);
+    // InitCom: x/k1 for R plus ONE per full sequential scan of S
+    // (HDD has unlimited maxSeqR): x/k1 + x/k1 = 2·x/k1.
+    let x = v("x");
+    assert_eq!(
+        read.init,
+        simplify(&(Sym::int(2) * x / v("k1"))),
+        "seq-ac must collapse the inner scan's seeks"
+    );
+}
+
+#[test]
+fn insertion_sort_cost_has_quadratic_closed_form() {
+    // §7.2: foldL([], unfoldR(mrg)) over x singletons on disk costs
+    // x·InitCom + x(x+1)/2·(UnitTr up + UnitTr down + InitCom down) — the
+    // arithmetic engine must produce the closed form automatically.
+    let h = figure4_hierarchy();
+    let program = parse("foldL([], unfoldR(mrg))(R)").unwrap();
+    let mut annots = BTreeMap::new();
+    annots.insert(
+        "R".to_string(),
+        Annot::list(Annot::list(Annot::atom(1), Sym::one()), v("x")),
+    );
+    let layout = Layout::all_inputs_on("HDD", &["R"]);
+    // Large x so the accumulator spills past RAM (2^34).
+    let stats = Env::new().with("x", 3e10);
+    let engine = CostEngine::new(&h, &layout, annots, stats, 1).unwrap();
+    let report = engine.cost(&program).unwrap();
+    let ram = h.by_name("RAM").unwrap();
+    let hdd = h.by_name("HDD").unwrap();
+
+    let x = v("x");
+    let triangle = simplify(&(x.clone() * (x.clone() + Sym::one()) / Sym::int(2)));
+
+    let write = report.events.edge(ram, hdd);
+    assert_eq!(write.bytes, triangle, "accumulator write-back is x(x+1)/2");
+    assert_eq!(write.init, triangle, "element-wise writes seek per element");
+
+    let read = report.events.edge(hdd, ram);
+    // x singleton reads plus the growing accumulator read-back.
+    assert_eq!(
+        read.bytes,
+        simplify(&(x.clone() + triangle.clone())),
+        "reads are x + x(x+1)/2"
+    );
+    assert_eq!(read.init, simplify(&x), "one seek per consumed element");
+}
+
+#[test]
+fn external_merge_sort_cost_scales_with_levels() {
+    // treeFold[2^k]([], unfoldR[bin,bout](funcPow[k](mrg))) over x singleton
+    // runs: ⌈log₂(x)/k⌉ levels, each moving all bytes both ways.
+    let h = figure4_hierarchy();
+    let mut annots = BTreeMap::new();
+    annots.insert(
+        "R".to_string(),
+        Annot::list(Annot::list(Annot::atom(1), Sym::one()), v("x")),
+    );
+    let layout = Layout::all_inputs_on("HDD", &["R"]);
+    let stats = Env::new().with("x", 3e10);
+
+    let cost_for_k = |k: u32| -> f64 {
+        let m = 1u64 << k;
+        let program = parse(&format!(
+            "treeFold[{m}](<[], unfoldR[bin, bout](funcPow[{k}](mrg))>)(R)"
+        ))
+        .unwrap();
+        let engine =
+            CostEngine::new(&h, &layout, annots.clone(), stats.clone(), 1).unwrap();
+        let report = engine.cost(&program).unwrap();
+        let env = Env::new()
+            .with("x", 1e9)
+            .with("bin", 64.0 * 1024.0)
+            .with("bout", 64.0 * 1024.0);
+        ocas_symbolic::eval(&report.seconds, &env).unwrap()
+    };
+
+    let c1 = cost_for_k(1); // 2-way
+    let c3 = cost_for_k(3); // 8-way
+    let c5 = cost_for_k(5); // 32-way
+    assert!(
+        c1 > c3 && c3 > c5,
+        "more merge ways fewer passes: {c1} > {c3} > {c5}"
+    );
+    // 2-way needs ~30 levels for 1e9 runs, 32-way needs 6: roughly 5x.
+    let ratio = c1 / c5;
+    assert!((4.0..6.5).contains(&ratio), "level ratio ≈ 5, got {ratio}");
+}
+
+#[test]
+fn grace_hash_join_reads_data_twice() {
+    // hash-part (§6.2): partition both relations, then join bucket pairs.
+    // All data is read twice and written once in between.
+    let h = figure4_hierarchy();
+    let program = parse(
+        "flatMap(\\q. for (x <- q.1) for (y <- q.2) if x == y then [<x, y>] else [])\
+         (unfoldR(zip[2])(<hashPartition[s1](R), hashPartition[s1](S)>))",
+    )
+    .unwrap();
+    let mut annots = BTreeMap::new();
+    annots.insert("R".to_string(), Annot::relation(v("x"), 1, 1));
+    annots.insert("S".to_string(), Annot::relation(v("y"), 1, 1));
+    let layout = Layout::all_inputs_on("HDD", &["R", "S"]);
+    // Inputs far larger than RAM so partitions spill.
+    let big = 1e12;
+    let stats = Env::new().with("x", big).with("y", big / 8.0);
+    let engine = CostEngine::new(&h, &layout, annots, stats, 1).unwrap();
+    let report = engine.cost(&program).unwrap();
+
+    let ram = h.by_name("RAM").unwrap();
+    let hdd = h.by_name("HDD").unwrap();
+    let read = report.events.edge(hdd, ram);
+    let write = report.events.edge(ram, hdd);
+
+    // Bytes read ≈ 2(x+y) (partitioning pass + join pass), written ≈ x+y.
+    let env = Env::new()
+        .with("x", big)
+        .with("y", big / 8.0)
+        .with("s1", 1024.0)
+        .with("b_in", 1_048_576.0)
+        .with("b_out", 1_048_576.0);
+    let read_bytes = ocas_symbolic::eval(&read.bytes, &env).unwrap();
+    let write_bytes = ocas_symbolic::eval(&write.bytes, &env).unwrap();
+    let total = big + big / 8.0;
+    assert!(
+        (read_bytes / total - 2.0).abs() < 0.05,
+        "read ≈ 2(x+y), got {read_bytes} vs {total}"
+    );
+    assert!(
+        (write_bytes / total - 1.0).abs() < 0.05,
+        "write ≈ (x+y), got {write_bytes} vs {total}"
+    );
+
+    // A capacity constraint must force bucket pairs to fit in RAM.
+    assert!(
+        report
+            .constraints
+            .iter()
+            .any(|c| c.lhs.vars().contains("s1")),
+        "expected a constraint mentioning s1: {:?}",
+        report.constraints
+    );
+}
+
+#[test]
+fn column_store_read_is_one_sequential_pass() {
+    let h = figure4_hierarchy();
+    let program = parse("unfoldR[bin, bout](zip[2])(<C1, C2>)").unwrap();
+    let mut annots = BTreeMap::new();
+    annots.insert("C1".to_string(), Annot::relation(v("n"), 1, 1));
+    annots.insert("C2".to_string(), Annot::relation(v("n"), 1, 1));
+    let layout = Layout::all_inputs_on("HDD", &["C1", "C2"]);
+    let stats = Env::new().with("n", 1e9);
+    let engine = CostEngine::new(&h, &layout, annots, stats, 1).unwrap();
+    let report = engine.cost(&program).unwrap();
+    let ram = h.by_name("RAM").unwrap();
+    let hdd = h.by_name("HDD").unwrap();
+    let read = report.events.edge(hdd, ram);
+    let n = v("n");
+    assert_eq!(read.bytes, simplify(&(Sym::int(2) * n.clone())));
+    assert_eq!(
+        read.init,
+        simplify(&(Sym::int(2) * n / v("bin"))),
+        "blocked reads of both columns"
+    );
+    // Result: [<1,1>]_n.
+    assert_eq!(report.result.card().unwrap(), v("n"));
+}

@@ -1,0 +1,1419 @@
+//! Plan execution against the simulated storage hierarchy.
+
+use crate::plan::{CpuModel, JoinPred, MergeKind, Mode, Output, Plan};
+use crate::rel::{Relation, Row};
+use ocas_storage::{CacheSim, CacheStats, StorageError, StorageSim};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Execution errors.
+#[derive(Debug)]
+pub enum ExecError {
+    /// Storage-level failure (capacity, bounds).
+    Storage(StorageError),
+    /// A plan referenced a relation index that does not exist.
+    BadRelation(usize),
+    /// A plan parameter is invalid (zero block size, fan-in < 2, …).
+    BadParameter(&'static str),
+    /// Faithful mode requested but a relation has no rows.
+    MissingRows(usize),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Storage(e) => write!(f, "storage error: {e}"),
+            ExecError::BadRelation(i) => write!(f, "no relation with index {i}"),
+            ExecError::BadParameter(what) => write!(f, "invalid plan parameter: {what}"),
+            ExecError::MissingRows(i) => {
+                write!(f, "relation {i} has no rows (faithful mode needs data)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> ExecError {
+        ExecError::Storage(e)
+    }
+}
+
+/// What one plan execution produced.
+#[derive(Debug, Clone)]
+pub struct ExecStats {
+    /// Simulated seconds (I/O + modeled CPU).
+    pub seconds: f64,
+    /// Rows produced (exact in faithful mode, modeled in simulated mode).
+    pub output_rows: u64,
+    /// Tuple comparisons performed/modeled.
+    pub compares: u64,
+    /// Output rows materialized in faithful mode.
+    pub output: Option<Vec<Row>>,
+    /// Cache statistics, when a cache simulator was attached.
+    pub cache: Option<CacheStats>,
+}
+
+/// The plan executor: owns the storage simulator, the relation table and
+/// the CPU/cache models.
+pub struct Executor {
+    /// The clocked storage layer.
+    pub sm: StorageSim,
+    /// Relation table (plans refer to relations by index).
+    pub rels: Vec<Relation>,
+    /// Faithful or simulated execution.
+    pub mode: Mode,
+    /// CPU model.
+    pub cpu: CpuModel,
+    /// Optional CPU-cache simulator for the in-memory loops.
+    pub cache: Option<CacheSim>,
+}
+
+/// Buffered output sink. Each flush allocates a fresh extent right after
+/// the previous one (the storage manager's bump allocator keeps them
+/// contiguous), so writes are sequential on the device *unless* interleaved
+/// reads move the head — which is exactly the paper's read/write
+/// interference experiment.
+struct Sink {
+    output: Output,
+    tuple_bytes: u64,
+    pending: u64,
+    rows: u64,
+    collected: Option<Vec<Row>>,
+    /// One pre-allocated output extent, written sequentially with
+    /// wrap-around; keeps metadata O(1) even for 100+ GB simulated outputs
+    /// while preserving the head-movement behaviour of streaming writes.
+    extent: Option<(ocas_storage::FileId, u64)>,
+    cursor: u64,
+}
+
+/// Size of the pre-allocated output region (wrap-around window).
+const SINK_EXTENT: u64 = 1 << 30;
+
+impl Sink {
+    fn new(output: &Output, tuple_bytes: u64, faithful: bool) -> Sink {
+        Sink {
+            output: output.clone(),
+            tuple_bytes: tuple_bytes.max(1),
+            pending: 0,
+            rows: 0,
+            collected: if faithful { Some(Vec::new()) } else { None },
+            extent: None,
+            cursor: 0,
+        }
+    }
+
+    fn emit_row(&mut self, sm: &mut StorageSim, row: Row) -> Result<(), ExecError> {
+        if let Some(c) = &mut self.collected {
+            c.push(row);
+        }
+        self.emit_bulk(sm, 1)
+    }
+
+    fn emit_bulk(&mut self, sm: &mut StorageSim, n: u64) -> Result<(), ExecError> {
+        self.rows += n;
+        if let Output::ToDevice { buffer_bytes, .. } = &self.output {
+            self.pending += n * self.tuple_bytes;
+            let cap = (*buffer_bytes).max(self.tuple_bytes);
+            while self.pending >= cap {
+                self.flush_bytes(sm, cap)?;
+                self.pending -= cap;
+            }
+        }
+        Ok(())
+    }
+
+    fn flush_bytes(&mut self, sm: &mut StorageSim, bytes: u64) -> Result<(), ExecError> {
+        if bytes == 0 {
+            return Ok(());
+        }
+        if let Output::ToDevice { device, .. } = &self.output {
+            let (file, len) = match self.extent {
+                Some(e) => e,
+                None => {
+                    let len = SINK_EXTENT;
+                    let f = sm.alloc(device, len)?;
+                    self.extent = Some((f, len));
+                    (f, len)
+                }
+            };
+            let mut remaining = bytes;
+            while remaining > 0 {
+                if self.cursor >= len {
+                    self.cursor = 0;
+                }
+                let chunk = remaining.min(len - self.cursor);
+                sm.write(file, self.cursor, chunk)?;
+                self.cursor += chunk;
+                remaining -= chunk;
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(mut self, sm: &mut StorageSim) -> Result<(u64, Option<Vec<Row>>), ExecError> {
+        let pending = self.pending;
+        self.flush_bytes(sm, pending)?;
+        Ok((self.rows, self.collected))
+    }
+}
+
+impl Executor {
+    /// Builds an executor.
+    pub fn new(sm: StorageSim, mode: Mode, cpu: CpuModel) -> Executor {
+        Executor {
+            sm,
+            rels: Vec::new(),
+            mode,
+            cpu,
+            cache: None,
+        }
+    }
+
+    /// Attaches a cache simulator for in-memory loop accounting.
+    pub fn with_cache(mut self, cache: CacheSim) -> Executor {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Registers a relation, returning its plan index.
+    pub fn add_relation(&mut self, rel: Relation) -> usize {
+        self.rels.push(rel);
+        self.rels.len() - 1
+    }
+
+    fn rel(&self, i: usize) -> Result<&Relation, ExecError> {
+        self.rels.get(i).ok_or(ExecError::BadRelation(i))
+    }
+
+    fn faithful(&self) -> bool {
+        self.mode == Mode::Faithful
+    }
+
+    fn charge_cpu(&mut self, compares: u64, emits: u64, hashes: u64) {
+        if self.cpu.enabled {
+            let t = compares as f64 * self.cpu.per_compare
+                + emits as f64 * self.cpu.per_emit
+                + hashes as f64 * self.cpu.per_hash;
+            self.sm.charge_cpu(t);
+        }
+    }
+
+    /// Runs a plan to completion.
+    pub fn run(&mut self, plan: &Plan) -> Result<ExecStats, ExecError> {
+        let t0 = self.sm.clock();
+        let mut compares: u64 = 0;
+        let (rows, output) = match plan {
+            Plan::BnlJoin {
+                outer,
+                inner,
+                k1,
+                k2,
+                tiling,
+                pred,
+                order_inputs,
+                output,
+            } => self.run_bnl(
+                *outer,
+                *inner,
+                *k1,
+                *k2,
+                *tiling,
+                *pred,
+                *order_inputs,
+                output,
+                &mut compares,
+            )?,
+            Plan::NaiveJoin {
+                outer,
+                inner,
+                pred,
+                output,
+            } => self.run_bnl(
+                *outer,
+                *inner,
+                1,
+                1,
+                None,
+                *pred,
+                false,
+                output,
+                &mut compares,
+            )?,
+            Plan::GraceJoin {
+                left,
+                right,
+                partitions,
+                buffer_bytes,
+                spill,
+                pred,
+                output,
+            } => self.run_grace(
+                *left,
+                *right,
+                *partitions,
+                *buffer_bytes,
+                spill,
+                *pred,
+                output,
+                &mut compares,
+            )?,
+            Plan::ExternalSort {
+                input,
+                fan_in,
+                b_in,
+                b_out,
+                scratch,
+                output,
+            } => self.run_sort(*input, *fan_in, *b_in, *b_out, scratch, output, &mut compares)?,
+            Plan::MergePass {
+                left,
+                right,
+                kind,
+                b_in,
+                output,
+            } => self.run_merge(*left, *right, *kind, *b_in, output, &mut compares)?,
+            Plan::ColumnZip {
+                columns,
+                b_in,
+                output,
+            } => self.run_columns(columns, *b_in, output)?,
+            Plan::DedupSorted {
+                input,
+                b_in,
+                output,
+            } => self.run_dedup(*input, *b_in, output, &mut compares)?,
+            Plan::Aggregate { input, b_in } => self.run_aggregate(*input, *b_in, &mut compares)?,
+        };
+        Ok(ExecStats {
+            seconds: self.sm.clock() - t0,
+            output_rows: rows,
+            compares,
+            output,
+            cache: self.cache.as_ref().map(|c| c.stats()),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_bnl(
+        &mut self,
+        outer: usize,
+        inner: usize,
+        k1: u64,
+        k2: u64,
+        tiling: Option<crate::plan::Tiling>,
+        pred: JoinPred,
+        order_inputs: bool,
+        output: &Output,
+        compares: &mut u64,
+    ) -> Result<(u64, Option<Vec<Row>>), ExecError> {
+        if k1 == 0 || k2 == 0 {
+            return Err(ExecError::BadParameter("zero block size"));
+        }
+        let (oi, ii) = if order_inputs && self.rel(outer)?.card > self.rel(inner)?.card {
+            (inner, outer)
+        } else {
+            (outer, inner)
+        };
+        let o = self.rel(oi)?.clone();
+        let i = self.rel(ii)?.clone();
+        let out_width = o.tuple_bytes + i.tuple_bytes;
+        let mut sink = Sink::new(output, out_width, self.faithful());
+        // Expected match density for simulated mode.
+        let density = match pred {
+            JoinPred::Cross => 1.0,
+            JoinPred::KeyEq => 1.0 / o.key_range.max(i.key_range).max(1) as f64,
+        };
+        let mut emits: u64 = 0;
+        let hashes: u64 = 0;
+        let mut carry = 0.0f64;
+        let mut oidx = 0;
+        while oidx < o.card {
+            let on = o.read_block(&mut self.sm, oidx, k1)?;
+            let mut iidx = 0;
+            while iidx < i.card {
+                let in_n = i.read_block(&mut self.sm, iidx, k2)?;
+                if self.faithful() {
+                    // Faithful mode runs the literal nested loops.
+                    *compares += on * in_n;
+                } else {
+                    // At paper scale the per-pair count is astronomically
+                    // CPU-bound; real block joins hash the resident block
+                    // (build once per outer block amortized + one probe per
+                    // inner tuple), which is what we model.
+                    *compares += in_n + on / (i.card.div_ceil(k2)).max(1);
+                }
+                if self.faithful() {
+                    let orows = o.block_rows(oidx, on).to_vec();
+                    let irows = i.block_rows(iidx, in_n).to_vec();
+                    self.join_tile(
+                        &orows, &irows, oidx, iidx, &o, &i, tiling, pred, &mut sink, &mut emits,
+                    )?;
+                } else {
+                    let expected = on as f64 * in_n as f64 * density + carry;
+                    let whole = expected.floor() as u64;
+                    carry = expected - whole as f64;
+                    emits += whole;
+                    sink.emit_bulk(&mut self.sm, whole)?;
+                }
+                iidx += in_n.max(1);
+            }
+            oidx += on.max(1);
+        }
+        let _ = hashes;
+        self.charge_cpu(*compares, emits, 0);
+        let (rows, collected) = sink.finish(&mut self.sm)?;
+        Ok((rows, collected))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn join_tile(
+        &mut self,
+        orows: &[Row],
+        irows: &[Row],
+        obase: u64,
+        ibase: u64,
+        orel: &Relation,
+        irel: &Relation,
+        tiling: Option<crate::plan::Tiling>,
+        pred: JoinPred,
+        sink: &mut Sink,
+        emits: &mut u64,
+    ) -> Result<(), ExecError> {
+        // Virtual addresses for cache accounting: each relation gets its own
+        // region; in-RAM block bases reflect the on-disk tuple positions.
+        let oaddr = |idx: usize| (1u64 << 42) + (obase + idx as u64) * orel.tuple_bytes;
+        let iaddr = |idx: usize| (2u64 << 42) + (ibase + idx as u64) * irel.tuple_bytes;
+        let (to, ti) = match tiling {
+            Some(t) => (t.outer.max(1) as usize, t.inner.max(1) as usize),
+            None => (orows.len().max(1), irows.len().max(1)),
+        };
+        let mut ob = 0;
+        while ob < orows.len() {
+            let oend = (ob + to).min(orows.len());
+            let mut ib = 0;
+            while ib < irows.len() {
+                let iend = (ib + ti).min(irows.len());
+                for (odx, x) in orows[..oend].iter().enumerate().skip(ob) {
+                    if let Some(c) = &mut self.cache {
+                        c.access(oaddr(odx), orel.tuple_bytes);
+                    }
+                    for (idx, y) in irows[..iend].iter().enumerate().skip(ib) {
+                        if let Some(c) = &mut self.cache {
+                            c.access(iaddr(idx), irel.tuple_bytes);
+                        }
+                        let matched = match pred {
+                            JoinPred::Cross => true,
+                            JoinPred::KeyEq => x.first() == y.first(),
+                        };
+                        if matched {
+                            *emits += 1;
+                            let mut row = x.clone();
+                            row.extend_from_slice(y);
+                            sink.emit_row(&mut self.sm, row)?;
+                        }
+                    }
+                }
+                ib = iend;
+            }
+            ob = oend;
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_grace(
+        &mut self,
+        left: usize,
+        right: usize,
+        partitions: u64,
+        buffer_bytes: u64,
+        spill: &str,
+        pred: JoinPred,
+        output: &Output,
+        compares: &mut u64,
+    ) -> Result<(u64, Option<Vec<Row>>), ExecError> {
+        if partitions == 0 {
+            return Err(ExecError::BadParameter("zero partitions"));
+        }
+        let l = self.rel(left)?.clone();
+        let r = self.rel(right)?.clone();
+        let out_width = l.tuple_bytes + r.tuple_bytes;
+        let mut sink = Sink::new(output, out_width, self.faithful());
+        let mut emits = 0u64;
+        let mut hashes = 0u64;
+
+        // Partition pass: stream each relation, hash rows into buckets,
+        // spill bucket buffers as they fill.
+        let spill_partition =
+            |this: &mut Executor,
+             rel: &Relation,
+             hashes: &mut u64|
+             -> Result<Vec<Vec<Row>>, ExecError> {
+                let mut buckets: Vec<Vec<Row>> = vec![Vec::new(); partitions as usize];
+                let mut bucket_fill: Vec<u64> = vec![0; partitions as usize];
+                let per_bucket_buf =
+                    (buffer_bytes / partitions.max(1)).max(rel.tuple_bytes);
+                let block = (buffer_bytes / rel.tuple_bytes).max(1);
+                let mut idx = 0;
+                while idx < rel.card {
+                    let n = rel.read_block(&mut this.sm, idx, block)?;
+                    *hashes += n;
+                    if this.faithful() {
+                        for row in rel.block_rows(idx, n) {
+                            let key = row.first().copied().unwrap_or(0);
+                            let b = (ocal::stable_hash(&ocal::Value::Int(key))
+                                % partitions) as usize;
+                            buckets[b].push(row.clone());
+                            bucket_fill[b] += rel.tuple_bytes;
+                            if bucket_fill[b] >= per_bucket_buf {
+                                let f = this.sm.alloc(spill, bucket_fill[b])?;
+                                this.sm.write(f, 0, bucket_fill[b])?;
+                                bucket_fill[b] = 0;
+                            }
+                        }
+                    } else {
+                        // Uniform buckets: charge the same writes in bulk.
+                        let bytes = n * rel.tuple_bytes;
+                        let mut remaining = bytes;
+                        while remaining >= per_bucket_buf {
+                            let f = this.sm.alloc(spill, per_bucket_buf)?;
+                            this.sm.write(f, 0, per_bucket_buf)?;
+                            remaining -= per_bucket_buf;
+                        }
+                        // Remainder accumulates; approximate by carrying it
+                        // into the next block (tracked via bucket_fill[0]).
+                        bucket_fill[0] += remaining;
+                        if bucket_fill[0] >= per_bucket_buf {
+                            let f = this.sm.alloc(spill, bucket_fill[0])?;
+                            this.sm.write(f, 0, bucket_fill[0])?;
+                            bucket_fill[0] = 0;
+                        }
+                    }
+                    idx += n.max(1);
+                }
+                for (b, fill) in bucket_fill.iter().enumerate() {
+                    if *fill > 0 {
+                        let f = this.sm.alloc(spill, *fill)?;
+                        this.sm.write(f, 0, *fill)?;
+                    }
+                    let _ = b;
+                }
+                Ok(buckets)
+            };
+
+        let lbuckets = spill_partition(self, &l, &mut hashes)?;
+        let rbuckets = spill_partition(self, &r, &mut hashes)?;
+
+        // Join pass: read each co-bucket pair back and join in memory.
+        let density = match pred {
+            JoinPred::Cross => 1.0,
+            JoinPred::KeyEq => 1.0 / l.key_range.max(r.key_range).max(1) as f64,
+        };
+        let mut carry = 0.0f64;
+        for b in 0..partitions as usize {
+            if self.faithful() {
+                let lb = &lbuckets[b];
+                let rb = &rbuckets[b];
+                // Read both buckets back (sequential per bucket).
+                let lbytes = lb.len() as u64 * l.tuple_bytes;
+                let rbytes = rb.len() as u64 * r.tuple_bytes;
+                if lbytes > 0 {
+                    let f = self.sm.alloc(spill, lbytes)?;
+                    self.sm.read(f, 0, lbytes)?;
+                }
+                if rbytes > 0 {
+                    let f = self.sm.alloc(spill, rbytes)?;
+                    self.sm.read(f, 0, rbytes)?;
+                }
+                // In-memory hash join of the pair.
+                let mut table: BTreeMap<i64, Vec<&Row>> = BTreeMap::new();
+                for row in lb {
+                    table.entry(row[0]).or_default().push(row);
+                }
+                hashes += (lb.len() + rb.len()) as u64;
+                for y in rb {
+                    match pred {
+                        JoinPred::KeyEq => {
+                            if let Some(matches) = table.get(&y[0]) {
+                                *compares += matches.len() as u64;
+                                for x in matches {
+                                    emits += 1;
+                                    let mut row = (*x).clone();
+                                    row.extend_from_slice(y);
+                                    sink.emit_row(&mut self.sm, row)?;
+                                }
+                            }
+                        }
+                        JoinPred::Cross => {
+                            for x in lb {
+                                *compares += 1;
+                                emits += 1;
+                                let mut row = x.clone();
+                                row.extend_from_slice(y);
+                                sink.emit_row(&mut self.sm, row)?;
+                            }
+                        }
+                    }
+                }
+            } else {
+                let lcard = l.card / partitions;
+                let rcard = r.card / partitions;
+                let lbytes = lcard * l.tuple_bytes;
+                let rbytes = rcard * r.tuple_bytes;
+                if lbytes > 0 {
+                    let f = self.sm.alloc(spill, lbytes)?;
+                    self.sm.read(f, 0, lbytes)?;
+                }
+                if rbytes > 0 {
+                    let f = self.sm.alloc(spill, rbytes)?;
+                    self.sm.read(f, 0, rbytes)?;
+                }
+                hashes += lcard + rcard;
+                *compares += lcard + rcard; // hash probes, not pairs
+                let expected = lcard as f64 * rcard as f64 * density + carry;
+                let whole = expected.floor() as u64;
+                carry = expected - whole as f64;
+                emits += whole;
+                sink.emit_bulk(&mut self.sm, whole)?;
+            }
+        }
+        self.charge_cpu(*compares, emits, hashes);
+        let (rows, collected) = sink.finish(&mut self.sm)?;
+        Ok((rows, collected))
+    }
+
+    fn run_sort(
+        &mut self,
+        input: usize,
+        fan_in: u64,
+        b_in: u64,
+        b_out: u64,
+        scratch: &str,
+        output: &Output,
+        compares: &mut u64,
+    ) -> Result<(u64, Option<Vec<Row>>), ExecError> {
+        if fan_in < 2 {
+            return Err(ExecError::BadParameter("fan-in must be >= 2"));
+        }
+        if b_in == 0 || b_out == 0 {
+            return Err(ExecError::BadParameter("zero sort buffer"));
+        }
+        let rel = self.rel(input)?.clone();
+        let n = rel.card;
+        let tb = rel.tuple_bytes;
+
+        // Number of 2^k-way merge levels over n singleton runs.
+        let levels = if n <= 1 {
+            0
+        } else {
+            ((n as f64).log2() / (fan_in as f64).log2()).ceil() as u64
+        };
+
+        // Level 0 reads the input; later levels read the previous scratch
+        // region. Each level: runs shrink by `fan_in`; reads alternate
+        // between the merged runs (seeking), writes stream to fresh extents.
+        let mut runs = n;
+        let mut first = true;
+        for _level in 0..levels {
+            let groups = runs.div_ceil(fan_in);
+            // Read side: merging consumes each tuple once, in b_in-tuple
+            // chunks alternating across the fan-in runs (non-contiguous ⇒
+            // the HDD model charges a seek per chunk).
+            let total_chunks = n.div_ceil(b_in);
+            let chunk_bytes = (b_in * tb).min(n * tb);
+            let mark = self.sm.watermark(scratch).unwrap_or(0);
+            // A k-way merge alternates between its input runs, so
+            // consecutive chunk reads land at different positions: emulate
+            // by ping-ponging between two cursors half the data apart.
+            for c in 0..total_chunks {
+                if first {
+                    let half = (total_chunks / 2).max(1);
+                    let pos = if c % 2 == 0 { c / 2 } else { half + c / 2 };
+                    let offset = (pos * b_in) % n.max(1);
+                    let len = chunk_bytes
+                        .min((n - offset.min(n)) * tb)
+                        .max(tb.min(8));
+                    self.sm.read(rel.file, offset * tb, len.min(rel.bytes()))?;
+                } else {
+                    // Two alternating scratch extents: every read seeks,
+                    // matching the estimator's one-InitCom-per-b_in-block.
+                    let f1 = self.sm.alloc(scratch, chunk_bytes.max(1))?;
+                    let f2 = self.sm.alloc(scratch, chunk_bytes.max(1))?;
+                    self.sm.read(f2, 0, chunk_bytes.max(1))?;
+                    self.sm.read(f1, 0, chunk_bytes.max(1))?;
+                }
+            }
+            // Write side: merged output in b_out chunks, streaming.
+            let out_chunks = n.div_ceil(b_out);
+            for _ in 0..out_chunks {
+                let f = self.sm.alloc(scratch, (b_out * tb).max(1))?;
+                self.sm.write(f, 0, (b_out * tb).max(1))?;
+            }
+            self.sm.truncate_device(scratch, mark).ok();
+            *compares += n * (fan_in as f64).log2().ceil() as u64;
+            runs = groups;
+            first = false;
+        }
+
+        // Final output.
+        let mut sink = Sink::new(output, tb, self.faithful());
+        if self.faithful() {
+            let mut rows = rel
+                .rows
+                .clone()
+                .ok_or(ExecError::MissingRows(input))?;
+            rows.sort();
+            for row in rows {
+                sink.emit_row(&mut self.sm, row)?;
+            }
+        } else {
+            sink.emit_bulk(&mut self.sm, n)?;
+        }
+        self.charge_cpu(*compares, n, 0);
+        let (rows, collected) = sink.finish(&mut self.sm)?;
+        Ok((rows, collected))
+    }
+
+    fn run_merge(
+        &mut self,
+        left: usize,
+        right: usize,
+        kind: MergeKind,
+        b_in: u64,
+        output: &Output,
+        compares: &mut u64,
+    ) -> Result<(u64, Option<Vec<Row>>), ExecError> {
+        if b_in == 0 {
+            return Err(ExecError::BadParameter("zero merge buffer"));
+        }
+        let l = self.rel(left)?.clone();
+        let r = self.rel(right)?.clone();
+        let mut sink = Sink::new(output, l.tuple_bytes, self.faithful());
+
+        // Read both inputs in alternating b_in blocks (streaming merge),
+        // emitting output as the stream advances so writes interleave with
+        // the reads (the head-interference behaviour a real merge has).
+        let out_fraction = match kind {
+            MergeKind::SetUnion
+            | MergeKind::MultisetUnionSorted
+            | MergeKind::MultisetUnionVm => 1.0,
+            // Documented modeling assumption: on random inputs about half
+            // of the left multiset survives the difference — the paper's
+            // worst-case estimate (all of it) then overshoots, reproducing
+            // §7.3's overestimation discussion.
+            MergeKind::MultisetDiffSorted | MergeKind::MultisetDiffVm => 0.5,
+        };
+        let mut li = 0;
+        let mut ri = 0;
+        let mut emits = 0u64;
+        while li < l.card || ri < r.card {
+            let mut consumed = 0u64;
+            if li < l.card {
+                let n = l.read_block(&mut self.sm, li, b_in)?;
+                li += n.max(1);
+                consumed += n;
+            }
+            if ri < r.card {
+                let n = r.read_block(&mut self.sm, ri, b_in)?;
+                ri += n.max(1);
+                if matches!(
+                    kind,
+                    MergeKind::SetUnion
+                        | MergeKind::MultisetUnionSorted
+                        | MergeKind::MultisetUnionVm
+                ) {
+                    consumed += n;
+                }
+            }
+            if !self.faithful() {
+                let e = (consumed as f64 * out_fraction) as u64;
+                emits += e;
+                sink.emit_bulk(&mut self.sm, e)?;
+            }
+        }
+        *compares += l.card + r.card;
+
+        if self.faithful() {
+            let a = l.rows.as_ref().ok_or(ExecError::MissingRows(left))?;
+            let b = r.rows.as_ref().ok_or(ExecError::MissingRows(right))?;
+            for row in merge_rows(a, b, kind) {
+                emits += 1;
+                sink.emit_row(&mut self.sm, row)?;
+            }
+        }
+        self.charge_cpu(*compares, emits, 0);
+        let (rows, collected) = sink.finish(&mut self.sm)?;
+        Ok((rows, collected))
+    }
+
+    fn run_columns(
+        &mut self,
+        columns: &[usize],
+        b_in: u64,
+        output: &Output,
+    ) -> Result<(u64, Option<Vec<Row>>), ExecError> {
+        if columns.is_empty() || b_in == 0 {
+            return Err(ExecError::BadParameter("columns/b_in"));
+        }
+        let rels: Vec<Relation> = columns
+            .iter()
+            .map(|c| self.rel(*c).cloned())
+            .collect::<Result<_, _>>()?;
+        let card = rels.iter().map(|r| r.card).min().unwrap_or(0);
+        let out_bytes: u64 = rels.iter().map(|r| r.tuple_bytes).sum();
+        let mut sink = Sink::new(output, out_bytes, self.faithful());
+        // Round-robin block reads across the columns (seeks between files).
+        let mut idx = 0;
+        while idx < card {
+            let mut n = 0;
+            for r in &rels {
+                n = r.read_block(&mut self.sm, idx, b_in)?;
+            }
+            if self.faithful() {
+                for off in 0..n {
+                    let mut row = Row::new();
+                    for r in &rels {
+                        row.extend_from_slice(&r.block_rows(idx + off, 1)[0]);
+                    }
+                    sink.emit_row(&mut self.sm, row)?;
+                }
+            } else {
+                sink.emit_bulk(&mut self.sm, n)?;
+            }
+            idx += n.max(1);
+        }
+        self.charge_cpu(0, card, 0);
+        let (rows, collected) = sink.finish(&mut self.sm)?;
+        Ok((rows, collected))
+    }
+
+    fn run_dedup(
+        &mut self,
+        input: usize,
+        b_in: u64,
+        output: &Output,
+        compares: &mut u64,
+    ) -> Result<(u64, Option<Vec<Row>>), ExecError> {
+        if b_in == 0 {
+            return Err(ExecError::BadParameter("zero dedup buffer"));
+        }
+        let rel = self.rel(input)?.clone();
+        let mut sink = Sink::new(output, rel.tuple_bytes, self.faithful());
+        let mut idx = 0;
+        let mut last: Option<Row> = None;
+        let mut emitted = 0u64;
+        while idx < rel.card {
+            let n = rel.read_block(&mut self.sm, idx, b_in)?;
+            // The staggered formulation (⟨tail(L), L⟩) maintains a second
+            // cursor one element behind: a literal implementation streams
+            // the list twice.
+            let _ = rel.read_block(&mut self.sm, idx.saturating_sub(1), b_in)?;
+            *compares += n;
+            if self.faithful() {
+                for row in rel.block_rows(idx, n) {
+                    if last.as_ref() != Some(row) {
+                        emitted += 1;
+                        sink.emit_row(&mut self.sm, row.clone())?;
+                        last = Some(row.clone());
+                    }
+                }
+            } else {
+                // Modeling assumption: half the sorted input is duplicated;
+                // emit as the stream advances so writes interleave.
+                let e = n / 2;
+                emitted += e;
+                sink.emit_bulk(&mut self.sm, e)?;
+            }
+            idx += n.max(1);
+        }
+        self.charge_cpu(*compares, emitted, 0);
+        let (rows, collected) = sink.finish(&mut self.sm)?;
+        Ok((rows, collected))
+    }
+
+    fn run_aggregate(
+        &mut self,
+        input: usize,
+        b_in: u64,
+        compares: &mut u64,
+    ) -> Result<(u64, Option<Vec<Row>>), ExecError> {
+        if b_in == 0 {
+            return Err(ExecError::BadParameter("zero aggregate buffer"));
+        }
+        let rel = self.rel(input)?.clone();
+        let mut idx = 0;
+        let mut sum: i64 = 0;
+        let mut count: i64 = 0;
+        while idx < rel.card {
+            let n = rel.read_block(&mut self.sm, idx, b_in)?;
+            *compares += n;
+            if self.faithful() {
+                for row in rel.block_rows(idx, n) {
+                    sum = sum.wrapping_add(row[0]);
+                    count += 1;
+                }
+            }
+            idx += n.max(1);
+        }
+        self.charge_cpu(*compares, 1, 0);
+        let avg = if count > 0 { sum / count } else { 0 };
+        let output = if self.faithful() {
+            Some(vec![vec![avg]])
+        } else {
+            None
+        };
+        Ok((1, output))
+    }
+}
+
+/// Row-level reference semantics of the merge operators (faithful mode).
+pub fn merge_rows(a: &[Row], b: &[Row], kind: MergeKind) -> Vec<Row> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    match kind {
+        MergeKind::MultisetUnionSorted => {
+            while i < a.len() || j < b.len() {
+                let take_a = j >= b.len() || (i < a.len() && a[i] <= b[j]);
+                if take_a {
+                    out.push(a[i].clone());
+                    i += 1;
+                } else {
+                    out.push(b[j].clone());
+                    j += 1;
+                }
+            }
+        }
+        MergeKind::SetUnion => {
+            while i < a.len() || j < b.len() {
+                let take_a = j >= b.len() || (i < a.len() && a[i] <= b[j]);
+                let row = if take_a {
+                    let r = a[i].clone();
+                    i += 1;
+                    r
+                } else {
+                    let r = b[j].clone();
+                    j += 1;
+                    r
+                };
+                if out.last() != Some(&row) {
+                    out.push(row);
+                }
+            }
+        }
+        MergeKind::MultisetUnionVm => {
+            // Rows are <value, multiplicity> sorted by value.
+            while i < a.len() || j < b.len() {
+                if i < a.len() && j < b.len() && a[i][0] == b[j][0] {
+                    out.push(vec![a[i][0], a[i][1] + b[j][1]]);
+                    i += 1;
+                    j += 1;
+                } else if j >= b.len() || (i < a.len() && a[i][0] < b[j][0]) {
+                    out.push(a[i].clone());
+                    i += 1;
+                } else {
+                    out.push(b[j].clone());
+                    j += 1;
+                }
+            }
+        }
+        MergeKind::MultisetDiffSorted => {
+            while i < a.len() {
+                if j < b.len() && b[j] < a[i] {
+                    j += 1;
+                } else if j < b.len() && b[j] == a[i] {
+                    i += 1;
+                    j += 1;
+                } else {
+                    out.push(a[i].clone());
+                    i += 1;
+                }
+            }
+        }
+        MergeKind::MultisetDiffVm => {
+            while i < a.len() {
+                if j < b.len() && b[j][0] < a[i][0] {
+                    j += 1;
+                } else if j < b.len() && b[j][0] == a[i][0] {
+                    let m = a[i][1] - b[j][1];
+                    if m > 0 {
+                        out.push(vec![a[i][0], m]);
+                    }
+                    i += 1;
+                    j += 1;
+                } else {
+                    out.push(a[i].clone());
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rel::RelSpec;
+    use ocas_hierarchy::presets;
+
+    fn setup(faithful: bool, ram: u64) -> Executor {
+        let h = presets::hdd_ram(ram);
+        let sm = StorageSim::from_hierarchy(&h);
+        Executor::new(
+            sm,
+            if faithful { Mode::Faithful } else { Mode::Simulated },
+            CpuModel::default(),
+        )
+    }
+
+    fn brute_join(r: &[Row], s: &[Row], pred: JoinPred) -> Vec<Row> {
+        let mut out = Vec::new();
+        for x in r {
+            for y in s {
+                let m = match pred {
+                    JoinPred::Cross => true,
+                    JoinPred::KeyEq => x[0] == y[0],
+                };
+                if m {
+                    let mut row = x.clone();
+                    row.extend_from_slice(y);
+                    out.push(row);
+                }
+            }
+        }
+        out
+    }
+
+    fn sorted(mut v: Vec<Row>) -> Vec<Row> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn bnl_join_matches_brute_force() {
+        let mut ex = setup(true, 1 << 25);
+        let r = Relation::create(
+            &mut ex.sm,
+            &RelSpec::pairs("R", "HDD", 300).with_key_range(40),
+            true,
+            1,
+        )
+        .unwrap();
+        let s = Relation::create(
+            &mut ex.sm,
+            &RelSpec::pairs("S", "HDD", 200).with_key_range(40),
+            true,
+            2,
+        )
+        .unwrap();
+        let rrows = r.rows.clone().unwrap();
+        let srows = s.rows.clone().unwrap();
+        let ri = ex.add_relation(r);
+        let si = ex.add_relation(s);
+        let stats = ex
+            .run(&Plan::BnlJoin {
+                outer: ri,
+                inner: si,
+                k1: 64,
+                k2: 64,
+                tiling: None,
+                pred: JoinPred::KeyEq,
+                order_inputs: true,
+                output: Output::Discard,
+            })
+            .unwrap();
+        let expect = brute_join(&rrows, &srows, JoinPred::KeyEq);
+        assert_eq!(stats.output_rows as usize, expect.len());
+        // order-inputs put S (smaller) outside, so rows come out in S-major
+        // order: compare as multisets.
+        let got: Vec<Row> = stats
+            .output
+            .unwrap()
+            .into_iter()
+            .map(|row| {
+                // swap back to R-major layout when S went outside
+                let (a, b) = row.split_at(2);
+                let mut r = b.to_vec();
+                r.extend_from_slice(a);
+                r
+            })
+            .collect();
+        assert_eq!(sorted(got), sorted(expect));
+        assert!(stats.seconds > 0.0);
+    }
+
+    #[test]
+    fn grace_join_matches_bnl() {
+        let mut ex = setup(true, 1 << 25);
+        let r = Relation::create(
+            &mut ex.sm,
+            &RelSpec::pairs("R", "HDD", 400).with_key_range(60),
+            true,
+            3,
+        )
+        .unwrap();
+        let s = Relation::create(
+            &mut ex.sm,
+            &RelSpec::pairs("S", "HDD", 250).with_key_range(60),
+            true,
+            4,
+        )
+        .unwrap();
+        let rrows = r.rows.clone().unwrap();
+        let srows = s.rows.clone().unwrap();
+        let ri = ex.add_relation(r);
+        let si = ex.add_relation(s);
+        let stats = ex
+            .run(&Plan::GraceJoin {
+                left: ri,
+                right: si,
+                partitions: 8,
+                buffer_bytes: 1 << 12,
+                spill: "HDD".into(),
+                pred: JoinPred::KeyEq,
+                output: Output::Discard,
+            })
+            .unwrap();
+        let expect = brute_join(&rrows, &srows, JoinPred::KeyEq);
+        assert_eq!(
+            sorted(stats.output.unwrap()),
+            sorted(expect),
+            "GRACE must produce exactly the join result"
+        );
+    }
+
+    #[test]
+    fn external_sort_sorts() {
+        let mut ex = setup(true, 1 << 25);
+        let l = Relation::create(&mut ex.sm, &RelSpec::ints("L", "HDD", 1000), true, 5).unwrap();
+        let li = ex.add_relation(l);
+        let stats = ex
+            .run(&Plan::ExternalSort {
+                input: li,
+                fan_in: 8,
+                b_in: 32,
+                b_out: 64,
+                scratch: "HDD".into(),
+                output: Output::Discard,
+            })
+            .unwrap();
+        let out = stats.output.unwrap();
+        assert_eq!(out.len(), 1000);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn wider_fan_in_needs_fewer_passes() {
+        let mk = |fan: u64| -> f64 {
+            let mut ex = setup(false, 1 << 22);
+            let l = Relation::create(
+                &mut ex.sm,
+                &RelSpec::ints("L", "HDD", 1 << 20),
+                false,
+                0,
+            )
+            .unwrap();
+            let li = ex.add_relation(l);
+            ex.run(&Plan::ExternalSort {
+                input: li,
+                // Chunks above the 4 KiB page size so alternating-run reads
+                // genuinely seek (sub-page chunks coalesce via read-ahead).
+                b_in: 1024,
+                fan_in: fan,
+                b_out: 4096,
+                scratch: "HDD".into(),
+                output: Output::Discard,
+            })
+            .unwrap()
+            .seconds
+        };
+        let t2 = mk(2);
+        let t16 = mk(16);
+        assert!(
+            t2 > 2.0 * t16,
+            "2-way ({t2}) must be much slower than 16-way ({t16})"
+        );
+    }
+
+    #[test]
+    fn merge_kinds_reference_semantics() {
+        let a: Vec<Row> = vec![vec![1], vec![2], vec![2], vec![5]];
+        let b: Vec<Row> = vec![vec![2], vec![3], vec![5]];
+        assert_eq!(
+            merge_rows(&a, &b, MergeKind::MultisetUnionSorted),
+            vec![
+                vec![1],
+                vec![2],
+                vec![2],
+                vec![2],
+                vec![3],
+                vec![5],
+                vec![5]
+            ]
+        );
+        assert_eq!(
+            merge_rows(&a, &b, MergeKind::SetUnion),
+            vec![vec![1], vec![2], vec![3], vec![5]]
+        );
+        assert_eq!(
+            merge_rows(&a, &b, MergeKind::MultisetDiffSorted),
+            vec![vec![1], vec![2]]
+        );
+        let avm: Vec<Row> = vec![vec![1, 3], vec![4, 2]];
+        let bvm: Vec<Row> = vec![vec![1, 1], vec![4, 2], vec![9, 5]];
+        assert_eq!(
+            merge_rows(&avm, &bvm, MergeKind::MultisetUnionVm),
+            vec![vec![1, 4], vec![4, 4], vec![9, 5]]
+        );
+        assert_eq!(
+            merge_rows(&avm, &bvm, MergeKind::MultisetDiffVm),
+            vec![vec![1, 2]]
+        );
+    }
+
+    #[test]
+    fn merge_pass_runs_and_charges_io() {
+        let mut ex = setup(true, 1 << 25);
+        let a = Relation::create(
+            &mut ex.sm,
+            &RelSpec::ints("A", "HDD", 500).sorted(),
+            true,
+            6,
+        )
+        .unwrap();
+        let b = Relation::create(
+            &mut ex.sm,
+            &RelSpec::ints("B", "HDD", 300).sorted(),
+            true,
+            7,
+        )
+        .unwrap();
+        let arows = a.rows.clone().unwrap();
+        let brows = b.rows.clone().unwrap();
+        let ai = ex.add_relation(a);
+        let bi = ex.add_relation(b);
+        let stats = ex
+            .run(&Plan::MergePass {
+                left: ai,
+                right: bi,
+                kind: MergeKind::MultisetUnionSorted,
+                b_in: 64,
+                output: Output::Discard,
+            })
+            .unwrap();
+        assert_eq!(
+            stats.output.unwrap(),
+            merge_rows(&arows, &brows, MergeKind::MultisetUnionSorted)
+        );
+        assert!(stats.seconds > 0.0);
+    }
+
+    #[test]
+    fn column_zip_produces_rows() {
+        let mut ex = setup(true, 1 << 25);
+        let c1 = Relation::create(&mut ex.sm, &RelSpec::ints("C1", "HDD", 100), true, 8).unwrap();
+        let c2 = Relation::create(&mut ex.sm, &RelSpec::ints("C2", "HDD", 100), true, 9).unwrap();
+        let r1 = c1.rows.clone().unwrap();
+        let r2 = c2.rows.clone().unwrap();
+        let i1 = ex.add_relation(c1);
+        let i2 = ex.add_relation(c2);
+        let stats = ex
+            .run(&Plan::ColumnZip {
+                columns: vec![i1, i2],
+                b_in: 16,
+                output: Output::Discard,
+            })
+            .unwrap();
+        let out = stats.output.unwrap();
+        assert_eq!(out.len(), 100);
+        for (i, row) in out.iter().enumerate() {
+            assert_eq!(row[0], r1[i][0]);
+            assert_eq!(row[1], r2[i][0]);
+        }
+    }
+
+    #[test]
+    fn dedup_removes_adjacent_duplicates() {
+        let mut ex = setup(true, 1 << 25);
+        let l = Relation::create(
+            &mut ex.sm,
+            &RelSpec::ints("L", "HDD", 500).sorted().with_key_range(50),
+            true,
+            10,
+        )
+        .unwrap();
+        let rows = l.rows.clone().unwrap();
+        let li = ex.add_relation(l);
+        let stats = ex
+            .run(&Plan::DedupSorted {
+                input: li,
+                b_in: 64,
+                output: Output::Discard,
+            })
+            .unwrap();
+        let mut expect = rows;
+        expect.dedup();
+        assert_eq!(stats.output.unwrap(), expect);
+    }
+
+    #[test]
+    fn aggregate_computes_avg() {
+        let mut ex = setup(true, 1 << 25);
+        let l = Relation::create(&mut ex.sm, &RelSpec::ints("L", "HDD", 400), true, 11).unwrap();
+        let rows = l.rows.clone().unwrap();
+        let li = ex.add_relation(l);
+        let stats = ex
+            .run(&Plan::Aggregate { input: li, b_in: 64 })
+            .unwrap();
+        let sum: i64 = rows.iter().map(|r| r[0]).sum();
+        assert_eq!(stats.output.unwrap()[0][0], sum / rows.len() as i64);
+    }
+
+    #[test]
+    fn write_interference_same_disk_slower_than_second_disk() {
+        let mk = |two_disks: bool| -> f64 {
+            let h = if two_disks {
+                presets::two_hdd_ram(1 << 22)
+            } else {
+                presets::hdd_ram(1 << 22)
+            };
+            let sm = StorageSim::from_hierarchy(&h);
+            let mut ex = Executor::new(sm, Mode::Simulated, CpuModel::default());
+            let r = Relation::create(
+                &mut ex.sm,
+                &RelSpec::pairs("R", "HDD", 2_000),
+                false,
+                0,
+            )
+            .unwrap();
+            let s = Relation::create(
+                &mut ex.sm,
+                &RelSpec::pairs("S", "HDD", 200_000),
+                false,
+                0,
+            )
+            .unwrap();
+            let ri = ex.add_relation(r);
+            let si = ex.add_relation(s);
+            ex.run(&Plan::BnlJoin {
+                outer: ri,
+                inner: si,
+                k1: 256,
+                k2: 4096,
+                tiling: None,
+                pred: JoinPred::Cross,
+                order_inputs: true,
+                output: Output::ToDevice {
+                    device: if two_disks { "HDD2".into() } else { "HDD".into() },
+                    buffer_bytes: 20 * 1024,
+                },
+            })
+            .unwrap()
+            .seconds
+        };
+        let same = mk(false);
+        let other = mk(true);
+        assert!(
+            same > 1.3 * other,
+            "same-disk output ({same}) must be much slower than second disk ({other})"
+        );
+    }
+
+    #[test]
+    fn flash_output_beats_second_hdd() {
+        let mk = |device: &str| -> f64 {
+            let h = presets::hdd_flash_ram(1 << 22);
+            let mut h2 = presets::two_hdd_ram(1 << 22);
+            let _ = &mut h2;
+            let h = if device == "SSD" { h } else { h2 };
+            let sm = StorageSim::from_hierarchy(&h);
+            let mut ex = Executor::new(sm, Mode::Simulated, CpuModel::default());
+            let r = Relation::create(&mut ex.sm, &RelSpec::pairs("R", "HDD", 2_000), false, 0)
+                .unwrap();
+            let s =
+                Relation::create(&mut ex.sm, &RelSpec::pairs("S", "HDD", 200_000), false, 0)
+                    .unwrap();
+            let ri = ex.add_relation(r);
+            let si = ex.add_relation(s);
+            ex.run(&Plan::BnlJoin {
+                outer: ri,
+                inner: si,
+                k1: 256,
+                k2: 4096,
+                tiling: None,
+                pred: JoinPred::Cross,
+                order_inputs: true,
+                output: Output::ToDevice {
+                    device: device.into(),
+                    buffer_bytes: 256 * 1024,
+                },
+            })
+            .unwrap()
+            .seconds
+        };
+        let ssd = mk("SSD");
+        let hdd2 = mk("HDD2");
+        assert!(
+            ssd < hdd2,
+            "flash output ({ssd}) must beat the second HDD ({hdd2})"
+        );
+    }
+
+    #[test]
+    fn cache_tiling_cuts_misses() {
+        let run = |tiling: Option<crate::plan::Tiling>| -> CacheStats {
+            let h = presets::hdd_ram(1 << 30);
+            let sm = StorageSim::from_hierarchy(&h);
+            // 16 KiB cache vs a 64 KiB inner relation: the untiled loop
+            // re-misses the whole inner side on every outer tuple.
+            let mut ex = Executor::new(sm, Mode::Faithful, CpuModel::default())
+                .with_cache(CacheSim::new(16 * 1024, 64, 8));
+            let r = Relation::create(
+                &mut ex.sm,
+                &RelSpec::pairs("R", "HDD", 4096).with_key_range(100),
+                true,
+                12,
+            )
+            .unwrap();
+            let s = Relation::create(
+                &mut ex.sm,
+                &RelSpec::pairs("S", "HDD", 4096).with_key_range(100),
+                true,
+                13,
+            )
+            .unwrap();
+            let ri = ex.add_relation(r);
+            let si = ex.add_relation(s);
+            ex.run(&Plan::BnlJoin {
+                outer: ri,
+                inner: si,
+                k1: 4096,
+                k2: 4096,
+                tiling,
+                pred: JoinPred::KeyEq,
+                order_inputs: false,
+                output: Output::Discard,
+            })
+            .unwrap()
+            .cache
+            .unwrap()
+        };
+        let untiled = run(None);
+        let tiled = run(Some(crate::plan::Tiling {
+            outer: 256,
+            inner: 256,
+        }));
+        // Tiling re-touches each outer row once per inner tile, so access
+        // counts differ slightly; the claim is about misses.
+        let ratio = tiled.accesses as f64 / untiled.accesses as f64;
+        assert!((0.99..1.01).contains(&ratio), "access counts comparable");
+        assert!(
+            (tiled.misses as f64) < 0.2 * untiled.misses as f64,
+            "tiling must cut misses by >80%: untiled={} tiled={}",
+            untiled.misses,
+            tiled.misses
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! Relations: on-device extents of fixed-width integer tuples.
+
+use ocas_storage::{FileId, StorageError, StorageSim};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A row of 64-bit integers.
+pub type Row = Vec<i64>;
+
+/// Declarative description of a relation to allocate/generate.
+#[derive(Debug, Clone)]
+pub struct RelSpec {
+    /// Name (matches the OCAL input variable).
+    pub name: String,
+    /// Hierarchy node holding the data.
+    pub device: String,
+    /// Number of tuples.
+    pub card: u64,
+    /// Columns per tuple.
+    pub width: u32,
+    /// Bytes per column (8 for machine integers; the paper's Figure 4
+    /// example uses 1).
+    pub col_bytes: u32,
+    /// Key range for generated data: keys drawn from `0..key_range`
+    /// (0 means "same as card").
+    pub key_range: u64,
+    /// Keep sorted by first column (merges/dedup need sorted inputs).
+    pub sorted: bool,
+}
+
+impl RelSpec {
+    /// A binary relation of `card` pairs on `device`.
+    pub fn pairs(name: &str, device: &str, card: u64) -> RelSpec {
+        RelSpec {
+            name: name.into(),
+            device: device.into(),
+            card,
+            width: 2,
+            col_bytes: 8,
+            key_range: 0,
+            sorted: false,
+        }
+    }
+
+    /// A unary integer list.
+    pub fn ints(name: &str, device: &str, card: u64) -> RelSpec {
+        RelSpec {
+            name: name.into(),
+            device: device.into(),
+            card,
+            width: 1,
+            col_bytes: 8,
+            key_range: 0,
+            sorted: false,
+        }
+    }
+
+    /// Sorted variant, builder-style.
+    pub fn sorted(mut self) -> RelSpec {
+        self.sorted = true;
+        self
+    }
+
+    /// Restrict keys to `0..range`, builder-style.
+    pub fn with_key_range(mut self, range: u64) -> RelSpec {
+        self.key_range = range;
+        self
+    }
+
+    /// Tuple width in bytes.
+    pub fn tuple_bytes(&self) -> u64 {
+        u64::from(self.width) * u64::from(self.col_bytes)
+    }
+}
+
+/// A materialized (or virtual) relation.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// The allocation on a simulated device.
+    pub file: FileId,
+    /// Number of tuples.
+    pub card: u64,
+    /// Bytes per tuple.
+    pub tuple_bytes: u64,
+    /// Columns per tuple.
+    pub width: u32,
+    /// Key range used for generation (drives simulated join selectivity).
+    pub key_range: u64,
+    /// Real rows (faithful mode only).
+    pub rows: Option<Vec<Row>>,
+}
+
+impl Relation {
+    /// Allocates a relation per `spec`; generates rows when `faithful`.
+    pub fn create(
+        sm: &mut StorageSim,
+        spec: &RelSpec,
+        faithful: bool,
+        seed: u64,
+    ) -> Result<Relation, StorageError> {
+        let bytes = spec.card * spec.tuple_bytes();
+        let file = sm.alloc(&spec.device, bytes.max(1))?;
+        let rows = if faithful {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let range = if spec.key_range == 0 {
+                spec.card.max(1)
+            } else {
+                spec.key_range
+            };
+            let mut rows: Vec<Row> = (0..spec.card)
+                .map(|_| {
+                    (0..spec.width)
+                        .map(|_| rng.gen_range(0..range as i64 + 1))
+                        .collect()
+                })
+                .collect();
+            if spec.sorted {
+                rows.sort();
+            }
+            Some(rows)
+        } else {
+            None
+        };
+        Ok(Relation {
+            file,
+            card: spec.card,
+            tuple_bytes: spec.tuple_bytes(),
+            width: spec.width,
+            key_range: if spec.key_range == 0 {
+                spec.card.max(1)
+            } else {
+                spec.key_range
+            },
+            rows,
+        })
+    }
+
+    /// Total size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.card * self.tuple_bytes
+    }
+
+    /// Reads a block of `count` tuples starting at tuple `index`, charging
+    /// the device; returns the actual count read.
+    pub fn read_block(
+        &self,
+        sm: &mut StorageSim,
+        index: u64,
+        count: u64,
+    ) -> Result<u64, StorageError> {
+        let n = count.min(self.card.saturating_sub(index));
+        if n > 0 {
+            sm.read(self.file, index * self.tuple_bytes, n * self.tuple_bytes)?;
+        }
+        Ok(n)
+    }
+
+    /// The rows of a block (faithful mode).
+    pub fn block_rows(&self, index: u64, count: u64) -> &[Row] {
+        match &self.rows {
+            Some(rows) => {
+                let start = (index as usize).min(rows.len());
+                let end = ((index + count) as usize).min(rows.len());
+                &rows[start..end]
+            }
+            None => &[],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocas_hierarchy::presets;
+
+    #[test]
+    fn create_and_read_blocks() {
+        let h = presets::hdd_ram(1 << 25);
+        let mut sm = StorageSim::from_hierarchy(&h);
+        let spec = RelSpec::pairs("R", "HDD", 1000);
+        let r = Relation::create(&mut sm, &spec, true, 42).unwrap();
+        assert_eq!(r.bytes(), 16_000);
+        assert_eq!(r.rows.as_ref().unwrap().len(), 1000);
+        let n = r.read_block(&mut sm, 990, 100).unwrap();
+        assert_eq!(n, 10, "clamped at the end");
+        assert!(sm.clock() > 0.0);
+        assert_eq!(r.block_rows(0, 3).len(), 3);
+    }
+
+    #[test]
+    fn sorted_generation() {
+        let h = presets::hdd_ram(1 << 25);
+        let mut sm = StorageSim::from_hierarchy(&h);
+        let spec = RelSpec::ints("L", "HDD", 500).sorted();
+        let r = Relation::create(&mut sm, &spec, true, 7).unwrap();
+        let rows = r.rows.as_ref().unwrap();
+        assert!(rows.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let h = presets::hdd_ram(1 << 25);
+        let mut sm = StorageSim::from_hierarchy(&h);
+        let spec = RelSpec::pairs("R", "HDD", 100);
+        let a = Relation::create(&mut sm, &spec, true, 9).unwrap();
+        let b = Relation::create(&mut sm, &spec, true, 9).unwrap();
+        assert_eq!(a.rows, b.rows);
+    }
+
+    #[test]
+    fn virtual_relation_has_no_rows() {
+        let h = presets::hdd_ram(1 << 25);
+        let mut sm = StorageSim::from_hierarchy(&h);
+        let spec = RelSpec::pairs("R", "HDD", 1 << 20);
+        let r = Relation::create(&mut sm, &spec, false, 0).unwrap();
+        assert!(r.rows.is_none());
+        assert!(r.block_rows(0, 10).is_empty());
+    }
+}

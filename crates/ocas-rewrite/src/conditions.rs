@@ -1,0 +1,257 @@
+//! Conservative side-condition checking by randomized differential testing.
+//!
+//! Most rule side conditions (associativity of a fold function, order
+//! insensitivity of a join, compatibility with hash partitioning) are
+//! undecidable in general. The paper prescribes deciding "a stronger but
+//! simpler condition" conservatively; we combine syntactic guards inside the
+//! rules with a semantic safety net here: every candidate program the search
+//! produces is executed against the specification on deterministic random
+//! inputs and rejected on any mismatch. This catches, for example, the
+//! *hash-part* rule applied to a cross product (where partitioning loses
+//! cross-bucket pairs).
+
+use ocal::gen::{random_value, GenConfig, Rng};
+use ocal::{Evaluator, Expr, Type, TypeEnv, Value};
+use std::collections::BTreeMap;
+
+/// How candidate outputs must relate to the specification's output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Equivalence {
+    /// Lists must be exactly equal (order-sensitive programs: sorting,
+    /// merging, column reads).
+    Exact,
+    /// Lists must be equal as multisets (joins and other order-insensitive
+    /// relational results; paper rules *swap-iter* and *hash-part* reorder
+    /// results).
+    Bag,
+    /// Multiset equality where each row's top-level components are also
+    /// unordered. *order-inputs* swaps the relations, so a join emits
+    /// `⟨y, x⟩` instead of `⟨x, y⟩`; the paper treats these as the same
+    /// result ("the input is a tuple of lists whose order does not matter
+    /// for the calculated result").
+    BagModuloFieldOrder,
+}
+
+/// Configuration of the differential validator.
+#[derive(Debug, Clone)]
+pub struct ValidationCfg {
+    /// Input types (the specification's free variables).
+    pub env: TypeEnv,
+    /// Required equivalence.
+    pub equivalence: Equivalence,
+    /// Number of random input sets to try.
+    pub rounds: u32,
+    /// Random-value generation bounds.
+    pub gen: GenConfig,
+    /// Seed for reproducibility.
+    pub seed: u64,
+    /// Values assigned to block-size parameters while testing (they must
+    /// not change semantics; small values exercise the blocking paths).
+    pub param_values: Vec<u64>,
+}
+
+impl ValidationCfg {
+    /// Defaults: 4 rounds, small sorted-agnostic inputs.
+    pub fn new(env: TypeEnv, equivalence: Equivalence) -> ValidationCfg {
+        ValidationCfg {
+            env,
+            equivalence,
+            rounds: 4,
+            gen: GenConfig::default(),
+            seed: 0x0c45_5eed,
+            param_values: vec![2, 3],
+        }
+    }
+
+    /// Use sorted random lists (for programs whose contract requires sorted
+    /// inputs, e.g. merges and duplicate removal).
+    pub fn with_sorted_inputs(mut self) -> ValidationCfg {
+        self.gen.sorted_lists = true;
+        self
+    }
+
+    /// Override the number of testing rounds.
+    pub fn with_rounds(mut self, rounds: u32) -> ValidationCfg {
+        self.rounds = rounds;
+        self
+    }
+}
+
+fn canonical_bag(v: &Value, sort_fields: bool) -> Option<Vec<String>> {
+    let items = v.as_list()?;
+    let mut keys: Vec<String> = items
+        .iter()
+        .map(|i| {
+            if sort_fields {
+                if let Value::Tuple(fields) = i {
+                    let mut fs: Vec<String> =
+                        fields.iter().map(|f| f.to_string()).collect();
+                    fs.sort();
+                    return format!("<{}>", fs.join(", "));
+                }
+            }
+            i.to_string()
+        })
+        .collect();
+    keys.sort();
+    Some(keys)
+}
+
+/// Structural output comparison under the requested equivalence.
+pub fn outputs_equal(a: &Value, b: &Value, eq: Equivalence) -> bool {
+    match eq {
+        Equivalence::Exact => a == b,
+        Equivalence::Bag | Equivalence::BagModuloFieldOrder => {
+            let sf = eq == Equivalence::BagModuloFieldOrder;
+            match (canonical_bag(a, sf), canonical_bag(b, sf)) {
+                (Some(x), Some(y)) => x == y,
+                _ => a == b,
+            }
+        }
+    }
+}
+
+/// Runs `candidate` against `spec` on random inputs. Returns `true` iff all
+/// rounds agree (a candidate that *errors* on any input is rejected, so the
+/// check is conservative).
+pub fn differential_check(spec: &Expr, candidate: &Expr, cfg: &ValidationCfg) -> bool {
+    let mut rng = Rng::new(cfg.seed);
+    for round in 0..cfg.rounds {
+        let mut inputs: BTreeMap<String, Value> = BTreeMap::new();
+        for (name, ty) in &cfg.env {
+            inputs.insert(name.clone(), random_value(ty, &mut rng, &cfg.gen));
+        }
+        // The spec must itself evaluate; otherwise the inputs are outside
+        // the program's domain (e.g. head of empty) and the round is
+        // skipped rather than failed.
+        let spec_out = match evaluator(cfg, round).run(spec, &inputs) {
+            Ok(v) => v,
+            Err(_) => continue,
+        };
+        let cand_out = match evaluator(cfg, round).run(candidate, &inputs) {
+            Ok(v) => v,
+            Err(_) => return false,
+        };
+        if !outputs_equal(&spec_out, &cand_out, cfg.equivalence) {
+            return false;
+        }
+    }
+    true
+}
+
+fn evaluator(cfg: &ValidationCfg, round: u32) -> Evaluator {
+    let mut ev = Evaluator::new().with_fuel(20_000_000);
+    // Cycle through the configured parameter test values so that different
+    // rounds exercise different block sizes.
+    let pv = &cfg.param_values;
+    let pick = |i: usize| pv[(i + round as usize) % pv.len()];
+    // Any parameter name that appears will be resolved lazily: pre-populate
+    // a generous set of names used by the rules (k0..k15, s0..s3, b…).
+    for i in 0..16 {
+        ev.params.insert(format!("k{i}"), pick(i));
+    }
+    for i in 0..4 {
+        ev.params.insert(format!("s{i}"), pick(i) + 1);
+    }
+    for name in ["bin", "bout", "b_in", "b_out"] {
+        ev.params.insert(name.to_string(), 2);
+    }
+    ev
+}
+
+/// Convenience: the inputs' common element type when the program is a
+/// two-relation operator (used by *order-inputs* / *hash-part* guards).
+pub fn two_equal_list_inputs(env: &TypeEnv) -> Option<(String, String, Type)> {
+    let lists: Vec<(&String, &Type)> = env
+        .iter()
+        .filter(|(_, t)| matches!(t, Type::List(_)))
+        .collect();
+    if lists.len() != 2 {
+        return None;
+    }
+    if lists[0].1 != lists[1].1 {
+        return None;
+    }
+    Some((
+        lists[0].0.clone(),
+        lists[1].0.clone(),
+        lists[0].1.clone(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocal::parse;
+
+    fn join_env() -> TypeEnv {
+        let rel = Type::list(Type::tuple(vec![Type::Int, Type::Int]));
+        [("R".to_string(), rel.clone()), ("S".to_string(), rel)]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn identical_programs_pass() {
+        let p = parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
+        let cfg = ValidationCfg::new(join_env(), Equivalence::Exact);
+        assert!(differential_check(&p, &p.clone(), &cfg));
+    }
+
+    #[test]
+    fn swapped_loops_pass_as_bag_fail_as_exact() {
+        let a = parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
+        let b = parse("for (y <- S) for (x <- R) if x.1 == y.1 then [<x, y>] else []").unwrap();
+        let bag = ValidationCfg::new(join_env(), Equivalence::Bag);
+        assert!(differential_check(&a, &b, &bag));
+        let exact = ValidationCfg::new(join_env(), Equivalence::Exact).with_rounds(16);
+        assert!(!differential_check(&a, &b, &exact));
+    }
+
+    #[test]
+    fn wrong_program_rejected() {
+        let a = parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
+        // Cross product instead of the join.
+        let b = parse("for (x <- R) for (y <- S) [<x, y>]").unwrap();
+        let cfg = ValidationCfg::new(join_env(), Equivalence::Bag);
+        assert!(!differential_check(&a, &b, &cfg));
+    }
+
+    #[test]
+    fn blocked_candidate_with_params_passes() {
+        let a = parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
+        let b = parse(
+            "for (xB [k1] <- R) for (yB [k2] <- S) for (x <- xB) for (y <- yB) \
+             if x.1 == y.1 then [<x, y>] else []",
+        )
+        .unwrap();
+        let cfg = ValidationCfg::new(join_env(), Equivalence::Bag);
+        assert!(differential_check(&a, &b, &cfg));
+    }
+
+    #[test]
+    fn erroring_candidate_rejected() {
+        let a = parse("for (x <- R) [x]").unwrap();
+        let b = parse("[head(R)] ++ for (x <- tail(R)) [x]").unwrap(); // errors on []
+        let env: TypeEnv = [(
+            "R".to_string(),
+            Type::list(Type::tuple(vec![Type::Int, Type::Int])),
+        )]
+        .into_iter()
+        .collect();
+        // Enough rounds that the deterministic generator produces an empty
+        // list, on which the candidate errors (head of []).
+        let cfg = ValidationCfg::new(env, Equivalence::Exact).with_rounds(32);
+        assert!(!differential_check(&a, &b, &cfg));
+    }
+
+    #[test]
+    fn two_equal_inputs_helper() {
+        assert!(two_equal_list_inputs(&join_env()).is_some());
+        let mut env = join_env();
+        env.insert("N".into(), Type::Int);
+        assert!(two_equal_list_inputs(&env).is_some());
+        env.insert("T".into(), Type::list(Type::Int));
+        assert!(two_equal_list_inputs(&env).is_none());
+    }
+}

@@ -1,0 +1,36 @@
+//! Transformation rules and program search for OCAS (paper §6).
+//!
+//! Each rule rewrites an OCAL expression into an equivalent one that may
+//! perform better on the target memory hierarchy. The search engine applies
+//! every rule at every position breadth-first, deduplicates candidates up to
+//! α-equivalence and parameter renaming, type-checks them against the
+//! specification's type, and — as the practical embodiment of the paper's
+//! "conservative estimation procedure" for undecidable side conditions —
+//! differentially validates every candidate against the specification on
+//! random inputs with the reference interpreter.
+//!
+//! Rules implemented (paper §6.2):
+//!
+//! | rule            | effect |
+//! |-----------------|--------|
+//! | *apply-block*   | `for (x ← R) e ⇒ for (xB [k] ← R) for (x ← xB) e` |
+//! | *unfoldR-block* | `unfoldR ⇒ unfoldR[b_in, b_out]` (the "analogous rule") |
+//! | *prefetch*      | `f(L) ⇒ f(for (xB [k] ← L) for (x ← xB) [x])` for streaming consumers |
+//! | *swap-iter*     | exchanges independent nested loops (incl. the `if` variant) |
+//! | *order-inputs*  | smaller relation first via `length` comparison |
+//! | *hash-part*     | GRACE-style hash partitioning of a two-input program |
+//! | *fldL-to-trfld* | `foldL(c,f) ⇒ treeFold[2](c,f)` for associative `f` |
+//! | *funcPow-intro* | `f ⇒ funcPow[1](f)` inside `treeFold[2]` |
+//! | *inc-branching* | `treeFold[2ᵏ](c, …funcPow[k](f)…) ⇒ treeFold[2ᵏ⁺¹](c, …funcPow[k+1](f)…)` |
+//! | *seq-ac*        | sequentiality annotation on interference-free scans |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conditions;
+mod rules;
+mod search;
+
+pub use conditions::{differential_check, Equivalence, ValidationCfg};
+pub use rules::{default_rules, Rule, RuleCtx};
+pub use search::{search, SearchConfig, SearchResult, SearchStats};

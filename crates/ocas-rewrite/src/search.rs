@@ -1,0 +1,527 @@
+//! Breadth-first exhaustive search over the space of equivalent programs
+//! (paper §6: "OCAS exhaustively searches the space of equivalent programs,
+//! estimates the cost of each and then selects one with the best
+//! performance"; §7.4 reports the search-space statistics we reproduce in
+//! [`SearchStats`]).
+
+use crate::conditions::{differential_check, ValidationCfg};
+use crate::rules::{Rule, RuleCtx};
+use ocal::{typecheck, BlockSize, DefName, Expr, TypeEnv};
+use ocas_hierarchy::Hierarchy;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::time::Instant;
+
+/// Search configuration.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Maximum number of rule applications along one derivation.
+    pub max_depth: u32,
+    /// Hard cap on the number of distinct programs explored.
+    pub max_programs: usize,
+    /// Differential validation of every candidate against the spec;
+    /// `None` trusts the rules' syntactic guards alone.
+    pub validation: Option<ValidationCfg>,
+}
+
+impl Default for SearchConfig {
+    fn default() -> SearchConfig {
+        SearchConfig {
+            max_depth: 7,
+            max_programs: 20_000,
+            validation: None,
+        }
+    }
+}
+
+/// Statistics mirroring the paper's Table 1 search columns.
+#[derive(Debug, Clone, Default)]
+pub struct SearchStats {
+    /// Number of distinct programs in the explored space (paper: "Search
+    /// space").
+    pub explored: usize,
+    /// Candidates generated before deduplication.
+    pub generated: usize,
+    /// Candidates rejected by the type checker.
+    pub rejected_type: usize,
+    /// Candidates rejected by differential validation.
+    pub rejected_semantics: usize,
+    /// Longest derivation (paper: "Steps").
+    pub depth_reached: u32,
+    /// Wall-clock seconds spent searching (paper: "OCAS Runtime").
+    pub seconds: f64,
+}
+
+/// The explored program space.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Every distinct (validated) program, including the specification at
+    /// index 0, paired with its derivation depth.
+    pub programs: Vec<(Expr, u32)>,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+/// Runs the BFS.
+///
+/// `input_nodes`/`output` describe the physical layout (used by *seq-ac*).
+pub fn search(
+    spec: &Expr,
+    env: &TypeEnv,
+    hierarchy: &Hierarchy,
+    input_nodes: &BTreeMap<String, String>,
+    output: Option<String>,
+    rules: &[Box<dyn Rule>],
+    cfg: &SearchConfig,
+) -> Result<SearchResult, ocal::TypeError> {
+    let start = Instant::now();
+    let spec_ty = typecheck(spec, env)?;
+
+    let mut stats = SearchStats::default();
+    let mut seen: HashSet<Expr> = HashSet::new();
+    let mut programs: Vec<(Expr, u32)> = Vec::new();
+    let mut queue: VecDeque<(Expr, u32)> = VecDeque::new();
+
+    seen.insert(dedup_key(spec));
+    programs.push((spec.clone(), 0));
+    queue.push_back((spec.clone(), 0));
+
+    let mut cx = RuleCtx {
+        hierarchy,
+        env,
+        input_nodes,
+        output,
+        fresh: 0,
+        bound: Vec::new(),
+    };
+
+    while let Some((program, depth)) = queue.pop_front() {
+        if depth >= cfg.max_depth || programs.len() >= cfg.max_programs {
+            continue;
+        }
+        let candidates = rewrite_everywhere(&program, rules, &mut cx);
+        stats.generated += candidates.len();
+        for cand in candidates {
+            if programs.len() >= cfg.max_programs {
+                break;
+            }
+            let key = dedup_key(&cand);
+            if seen.contains(&key) {
+                continue;
+            }
+            // Type preservation.
+            match typecheck(&cand, env) {
+                Ok(t) if t == spec_ty => {}
+                _ => {
+                    stats.rejected_type += 1;
+                    seen.insert(key);
+                    continue;
+                }
+            }
+            // Semantic preservation (conservative differential testing).
+            if let Some(v) = &cfg.validation {
+                if !differential_check(spec, &cand, v) {
+                    stats.rejected_semantics += 1;
+                    seen.insert(key);
+                    continue;
+                }
+            }
+            seen.insert(key);
+            stats.depth_reached = stats.depth_reached.max(depth + 1);
+            programs.push((cand.clone(), depth + 1));
+            queue.push_back((cand, depth + 1));
+        }
+    }
+
+    stats.explored = programs.len();
+    stats.seconds = start.elapsed().as_secs_f64();
+    Ok(SearchResult { programs, stats })
+}
+
+/// Applies every rule at every position of `e`, returning whole programs.
+pub fn rewrite_everywhere(
+    e: &Expr,
+    rules: &[Box<dyn Rule>],
+    cx: &mut RuleCtx<'_>,
+) -> Vec<Expr> {
+    fn go(
+        e: &Expr,
+        rules: &[Box<dyn Rule>],
+        cx: &mut RuleCtx<'_>,
+        is_root: bool,
+        out_of_context: &mut dyn FnMut(Expr),
+    ) {
+        for rule in rules {
+            if rule.root_only() && !is_root {
+                continue;
+            }
+            for rw in rule.apply(e, cx) {
+                out_of_context(rw);
+            }
+        }
+        // Recurse into children, rebuilding the node around each rewrite.
+        match e {
+            Expr::Lam { param, body } => {
+                cx.bound.push(param.clone());
+                let mut sub = Vec::new();
+                go(body, rules, cx, false, &mut |b| sub.push(b));
+                cx.bound.pop();
+                for b in sub {
+                    out_of_context(Expr::Lam {
+                        param: param.clone(),
+                        body: Box::new(b),
+                    });
+                }
+            }
+            Expr::For {
+                var,
+                block,
+                source,
+                out_block,
+                body,
+                seq,
+            } => {
+                let mut src_rewrites = Vec::new();
+                go(source, rules, cx, false, &mut |s| src_rewrites.push(s));
+                for s in src_rewrites {
+                    out_of_context(Expr::For {
+                        var: var.clone(),
+                        block: block.clone(),
+                        source: Box::new(s),
+                        out_block: out_block.clone(),
+                        body: body.clone(),
+                        seq: seq.clone(),
+                    });
+                }
+                cx.bound.push(var.clone());
+                let mut body_rewrites = Vec::new();
+                go(body, rules, cx, false, &mut |b| body_rewrites.push(b));
+                cx.bound.pop();
+                for b in body_rewrites {
+                    out_of_context(Expr::For {
+                        var: var.clone(),
+                        block: block.clone(),
+                        source: source.clone(),
+                        out_block: out_block.clone(),
+                        body: Box::new(b),
+                        seq: seq.clone(),
+                    });
+                }
+            }
+            other => {
+                let children = other.children();
+                for (i, child) in children.iter().enumerate() {
+                    let mut sub = Vec::new();
+                    go(child, rules, cx, false, &mut |c| sub.push(c));
+                    for c in sub {
+                        out_of_context(replace_child(other, i, c));
+                    }
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    go(e, rules, cx, true, &mut |p| out.push(p));
+    out
+}
+
+/// Rebuilds `e` with its `idx`-th child (in `children()` order) replaced.
+fn replace_child(e: &Expr, idx: usize, new_child: Expr) -> Expr {
+    let mut i = 0;
+    let mut slot = Some(new_child);
+    e.map_children(|c| {
+        let out = if i == idx {
+            slot.take().unwrap_or_else(|| c.clone())
+        } else {
+            c.clone()
+        };
+        i += 1;
+        out
+    })
+}
+
+/// Deduplication key: α-canonical form with block-size parameters renamed in
+/// first-occurrence order, so derivations that differ only in the generated
+/// names collapse.
+pub fn dedup_key(e: &Expr) -> Expr {
+    let canon = e.alpha_canonical();
+    let mut order: Vec<String> = Vec::new();
+    collect_params(&canon, &mut order);
+    let map: BTreeMap<String, String> = order
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (p, format!("%p{i}")))
+        .collect();
+    rename_params(&canon, &map)
+}
+
+fn collect_params(e: &Expr, out: &mut Vec<String>) {
+    let mut push = |b: &BlockSize| {
+        if let BlockSize::Param(p) = b {
+            if !out.contains(p) {
+                out.push(p.clone());
+            }
+        }
+    };
+    match e {
+        Expr::For {
+            block, out_block, ..
+        } => {
+            push(block);
+            push(out_block);
+        }
+        Expr::DefRef(DefName::TreeFold(k)) | Expr::DefRef(DefName::HashPartition(k)) => {
+            push(k)
+        }
+        Expr::DefRef(DefName::UnfoldR { b_in, b_out }) => {
+            push(b_in);
+            push(b_out);
+        }
+        _ => {}
+    }
+    for c in e.children() {
+        collect_params(c, out);
+    }
+}
+
+fn rename_params(e: &Expr, map: &BTreeMap<String, String>) -> Expr {
+    let rn = |b: &BlockSize| -> BlockSize {
+        match b {
+            BlockSize::Param(p) => {
+                BlockSize::Param(map.get(p).cloned().unwrap_or_else(|| p.clone()))
+            }
+            c => c.clone(),
+        }
+    };
+    let rebuilt = match e {
+        Expr::For {
+            var,
+            block,
+            source,
+            out_block,
+            body,
+            seq,
+        } => Expr::For {
+            var: var.clone(),
+            block: rn(block),
+            source: source.clone(),
+            out_block: rn(out_block),
+            body: body.clone(),
+            seq: seq.clone(),
+        },
+        Expr::DefRef(DefName::TreeFold(k)) => Expr::DefRef(DefName::TreeFold(rn(k))),
+        Expr::DefRef(DefName::HashPartition(k)) => {
+            Expr::DefRef(DefName::HashPartition(rn(k)))
+        }
+        Expr::DefRef(DefName::UnfoldR { b_in, b_out }) => Expr::DefRef(DefName::UnfoldR {
+            b_in: rn(b_in),
+            b_out: rn(b_out),
+        }),
+        other => other.clone(),
+    };
+    rebuilt.map_children(|c| rename_params(c, map))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conditions::Equivalence;
+    use crate::rules::default_rules;
+    use ocal::{parse, pretty, Type};
+    use ocas_hierarchy::presets;
+
+    fn join_env() -> TypeEnv {
+        let rel = Type::list(Type::tuple(vec![Type::Int, Type::Int]));
+        [("R".to_string(), rel.clone()), ("S".to_string(), rel)]
+            .into_iter()
+            .collect()
+    }
+
+    fn hdd_inputs(names: &[&str]) -> BTreeMap<String, String> {
+        names
+            .iter()
+            .map(|n| (n.to_string(), "HDD".to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn dedup_key_collapses_parameter_renamings() {
+        let a = parse("for (xB [k1] <- R) for (x <- xB) [x]").unwrap();
+        let b = parse("for (yB [k7] <- R) for (x <- yB) [x]").unwrap();
+        assert_eq!(dedup_key(&a), dedup_key(&b));
+        let c = parse("for (xB [k1] <- S) for (x <- xB) [x]").unwrap();
+        assert_ne!(dedup_key(&a), dedup_key(&c));
+    }
+
+    #[test]
+    fn bnl_join_space_contains_the_textbook_plan() {
+        let h = presets::hdd_ram(8 << 20);
+        let env = join_env();
+        let inputs = hdd_inputs(&["R", "S"]);
+        let spec =
+            parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
+        let cfg = SearchConfig {
+            max_depth: 5,
+            max_programs: 4000,
+            validation: Some(ValidationCfg::new(env.clone(), Equivalence::Bag)),
+        };
+        let result = search(
+            &spec,
+            &env,
+            &h,
+            &inputs,
+            None,
+            &default_rules(),
+            &cfg,
+        )
+        .unwrap();
+        assert!(result.stats.explored > 10, "{:?}", result.stats);
+        // The canonical BNL shape must be somewhere in the space: an outer
+        // blocked loop over one relation, an inner blocked loop over the
+        // other, then element loops.
+        let found = result.programs.iter().any(|(p, _)| {
+            let s = pretty(p);
+            is_bnl_shape(&s)
+        });
+        assert!(found, "no BNL shape among {} programs", result.stats.explored);
+        // And a seq-annotated variant too.
+        let seq_found = result
+            .programs
+            .iter()
+            .any(|(p, _)| pretty(p).contains("for[HDD >> RAM]"));
+        assert!(seq_found, "no seq-annotated program found");
+    }
+
+    fn is_bnl_shape(s: &str) -> bool {
+        // for (aB [kX] <- R|S) for (bB [kY] <- S|R) for (a <- aB) for (b <- bB)
+        let mut fors = 0;
+        let mut blocked = 0;
+        for part in s.split("for ") {
+            if part.starts_with('(') {
+                fors += 1;
+                if part.contains("[k") {
+                    blocked += 1;
+                }
+            }
+        }
+        fors >= 4 && blocked >= 2 && s.contains("if")
+    }
+
+    #[test]
+    fn sort_space_reaches_wide_merges() {
+        let h = presets::hdd_ram(8 << 20);
+        let env: TypeEnv = [(
+            "R".to_string(),
+            Type::list(Type::list(Type::Int)),
+        )]
+        .into_iter()
+        .collect();
+        let inputs = hdd_inputs(&["R"]);
+        let spec = parse("foldL([], unfoldR(mrg))(R)").unwrap();
+        let cfg = SearchConfig {
+            max_depth: 6,
+            max_programs: 3000,
+            validation: Some(
+                ValidationCfg::new(env.clone(), Equivalence::Exact).with_sorted_inputs(),
+            ),
+        };
+        let result = search(
+            &spec,
+            &env,
+            &h,
+            &inputs,
+            None,
+            &default_rules(),
+            &cfg,
+        )
+        .unwrap();
+        let widths: Vec<u64> = result
+            .programs
+            .iter()
+            .filter_map(|(p, _)| max_treefold_width(p))
+            .collect();
+        let max_width = widths.into_iter().max().unwrap_or(0);
+        assert!(
+            max_width >= 16,
+            "expected at least a 16-way merge in the space, got {max_width} \
+             over {} programs",
+            result.stats.explored
+        );
+    }
+
+    fn max_treefold_width(e: &Expr) -> Option<u64> {
+        let mut best = None;
+        fn walk(e: &Expr, best: &mut Option<u64>) {
+            if let Expr::DefRef(DefName::TreeFold(BlockSize::Const(m))) = e {
+                *best = Some(best.unwrap_or(0).max(*m));
+            }
+            for c in e.children() {
+                walk(c, best);
+            }
+        }
+        walk(e, &mut best);
+        best
+    }
+
+    #[test]
+    fn validation_rejects_hash_part_on_cross_products() {
+        // Cross product: hash partitioning would lose cross-bucket pairs;
+        // differential validation must reject every hash-part candidate.
+        let h = presets::hdd_ram(8 << 20);
+        let env = join_env();
+        let inputs = hdd_inputs(&["R", "S"]);
+        let spec = parse("for (x <- R) for (y <- S) [<x, y>]").unwrap();
+        let cfg = SearchConfig {
+            max_depth: 2,
+            max_programs: 500,
+            validation: Some(ValidationCfg::new(env.clone(), Equivalence::Bag)),
+        };
+        let result = search(
+            &spec,
+            &env,
+            &h,
+            &inputs,
+            None,
+            &default_rules(),
+            &cfg,
+        )
+        .unwrap();
+        assert!(
+            result.stats.rejected_semantics > 0,
+            "expected semantic rejections: {:?}",
+            result.stats
+        );
+        for (p, _) in &result.programs {
+            assert!(
+                !pretty(p).contains("hashPartition"),
+                "unsound hash-part survived: {}",
+                pretty(p)
+            );
+        }
+    }
+
+    #[test]
+    fn search_depth_and_stats_reported() {
+        let h = presets::hdd_ram(8 << 20);
+        let env = join_env();
+        let inputs = hdd_inputs(&["R", "S"]);
+        let spec = parse("for (x <- R) [x]").unwrap();
+        let cfg = SearchConfig {
+            max_depth: 3,
+            max_programs: 200,
+            validation: None,
+        };
+        let result = search(
+            &spec,
+            &env,
+            &h,
+            &inputs,
+            None,
+            &default_rules(),
+            &cfg,
+        )
+        .unwrap();
+        assert!(result.stats.explored >= 2);
+        assert!(result.stats.depth_reached >= 1);
+        assert_eq!(result.programs[0].1, 0, "spec first at depth 0");
+    }
+}

@@ -1,0 +1,180 @@
+//! Set-associative CPU-cache simulator.
+//!
+//! Used by the "BNL with cache" experiment: the paper measures a 98.2 %
+//! reduction in data-cache misses when OCAS tiles the in-memory join loops
+//! for a 3 MiB / 512 B-line cache. Tiling's effect is a deterministic
+//! property of the access stream, so a standard LRU set-associative model
+//! reproduces it.
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Line-granular accesses.
+    pub accesses: u64,
+    /// Misses (line not resident).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]` (0 when no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// LRU set-associative cache over a byte address space.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    line: u64,
+    sets: usize,
+    ways: usize,
+    /// `tags[set]` ordered most-recent-first.
+    tags: Vec<Vec<u64>>,
+    stats: CacheStats,
+}
+
+impl CacheSim {
+    /// Builds a cache of `size` bytes with `line`-byte lines and `ways`-way
+    /// associativity (sets = size / line / ways, at least 1).
+    pub fn new(size: u64, line: u64, ways: usize) -> CacheSim {
+        let line = line.max(1);
+        let ways = ways.max(1);
+        let sets = ((size / line) as usize / ways).max(1);
+        CacheSim {
+            line,
+            sets,
+            ways,
+            tags: vec![Vec::new(); sets],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The paper's cache: 3 MiB, 512 B lines, 8-way.
+    pub fn paper_cache() -> CacheSim {
+        CacheSim::new(3 * 1024 * 1024, 512, 8)
+    }
+
+    /// Touches `len` bytes at `addr`, one access per line.
+    pub fn access(&mut self, addr: u64, len: u64) {
+        let first = addr / self.line;
+        let last = (addr + len.max(1) - 1) / self.line;
+        for l in first..=last {
+            self.touch_line(l);
+        }
+    }
+
+    fn touch_line(&mut self, l: u64) {
+        self.stats.accesses += 1;
+        let set = (l % self.sets as u64) as usize;
+        let tag = l / self.sets as u64;
+        let entry = &mut self.tags[set];
+        if let Some(pos) = entry.iter().position(|t| *t == tag) {
+            let t = entry.remove(pos);
+            entry.insert(0, t);
+        } else {
+            self.stats.misses += 1;
+            entry.insert(0, tag);
+            entry.truncate(self.ways);
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears contents and counters.
+    pub fn reset(&mut self) {
+        for t in &mut self.tags {
+            t.clear();
+        }
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = CacheSim::new(1024, 64, 2);
+        c.access(0, 64);
+        c.access(0, 64);
+        c.access(0, 64);
+        let s = c.stats();
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = CacheSim::new(1024, 64, 1); // 16 lines, direct mapped.
+        // Stream over 64 lines repeatedly: every access misses after warmup.
+        for _ in 0..3 {
+            for i in 0..64u64 {
+                c.access(i * 64, 1);
+            }
+        }
+        let s = c.stats();
+        assert_eq!(s.accesses, 192);
+        assert_eq!(s.misses, 192, "direct-mapped conflict on a long stream");
+    }
+
+    #[test]
+    fn tiling_reduces_misses() {
+        // The cache experiment in miniature: nested loops over two arrays
+        // that don't fit together, untiled vs tiled.
+        let size = 16 * 1024;
+        let n: u64 = 512; // elements of 64 bytes = 32 KiB each side.
+        let elem = 64;
+
+        let mut untiled = CacheSim::new(size, 64, 4);
+        for i in 0..n {
+            for j in 0..n {
+                untiled.access(i * elem, elem);
+                untiled.access((1 << 24) + j * elem, elem);
+            }
+        }
+
+        let mut tiled = CacheSim::new(size, 64, 4);
+        let tile = 64; // 64 elements × 64 B = 4 KiB per side.
+        let mut ti = 0;
+        while ti < n {
+            let mut tj = 0;
+            while tj < n {
+                for i in ti..(ti + tile).min(n) {
+                    for j in tj..(tj + tile).min(n) {
+                        tiled.access(i * elem, elem);
+                        tiled.access((1 << 24) + j * elem, elem);
+                    }
+                }
+                tj += tile;
+            }
+            ti += tile;
+        }
+
+        let u = untiled.stats();
+        let t = tiled.stats();
+        assert_eq!(u.accesses, t.accesses, "same work, different order");
+        assert!(
+            (t.misses as f64) < 0.1 * u.misses as f64,
+            "tiling must reduce misses by >90%: untiled={} tiled={}",
+            u.misses,
+            t.misses
+        );
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = CacheSim::paper_cache();
+        c.access(0, 4096);
+        assert!(c.stats().accesses > 0);
+        c.reset();
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+}

@@ -1,0 +1,286 @@
+//! File allocation and clocked access across the simulated devices.
+
+use crate::device::{DeviceSim, DeviceStats};
+use ocas_hierarchy::{CostPair, Hierarchy, NodeId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies an allocated file (a contiguous extent on one device).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub usize);
+
+#[derive(Debug, Clone)]
+struct FileMeta {
+    device: usize,
+    offset: u64,
+    len: u64,
+}
+
+/// Storage errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Unknown hierarchy node name.
+    UnknownDevice(String),
+    /// Access beyond a file's extent.
+    OutOfBounds {
+        /// The file.
+        file: usize,
+        /// Requested end offset.
+        end: u64,
+        /// File length.
+        len: u64,
+    },
+    /// Device capacity exhausted.
+    Full(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownDevice(d) => write!(f, "unknown device `{d}`"),
+            StorageError::OutOfBounds { file, end, len } => {
+                write!(f, "access past end of file {file}: {end} > {len}")
+            }
+            StorageError::Full(d) => write!(f, "device `{d}` is full"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// The clocked storage layer: devices built from a hierarchy, plus a bump
+/// allocator of file extents per device and a global simulated clock.
+#[derive(Debug)]
+pub struct StorageSim {
+    devices: Vec<DeviceSim>,
+    device_by_name: BTreeMap<String, usize>,
+    capacity: Vec<u64>,
+    allocated: Vec<u64>,
+    files: Vec<FileMeta>,
+    clock_seconds: f64,
+}
+
+impl StorageSim {
+    /// Builds one simulated device per storage node of the hierarchy (the
+    /// root is memory and gets a free RAM device as well, so intermediates
+    /// can be "allocated" uniformly).
+    pub fn from_hierarchy(h: &Hierarchy) -> StorageSim {
+        let mut devices = Vec::new();
+        let mut device_by_name = BTreeMap::new();
+        let mut capacity = Vec::new();
+        for id in h.ids() {
+            let props = h.node(id);
+            let (up, down) = match h.parent(id) {
+                Some(p) => (
+                    h.edge(id, p).expect("parent edge"),
+                    h.edge(p, id).expect("parent edge"),
+                ),
+                None => (CostPair::FREE, CostPair::FREE),
+            };
+            device_by_name.insert(props.name.clone(), devices.len());
+            capacity.push(props.size);
+            devices.push(DeviceSim::for_node(props, up, down));
+        }
+        let n = devices.len();
+        StorageSim {
+            devices,
+            device_by_name,
+            capacity,
+            allocated: vec![0; n],
+            files: Vec::new(),
+            clock_seconds: 0.0,
+        }
+    }
+
+    /// Allocates a file of `len` bytes on the named device.
+    pub fn alloc(&mut self, device: &str, len: u64) -> Result<FileId, StorageError> {
+        let d = *self
+            .device_by_name
+            .get(device)
+            .ok_or_else(|| StorageError::UnknownDevice(device.to_string()))?;
+        if self.allocated[d] + len > self.capacity[d] {
+            return Err(StorageError::Full(device.to_string()));
+        }
+        let offset = self.allocated[d];
+        self.allocated[d] += len;
+        let id = FileId(self.files.len());
+        self.files.push(FileMeta {
+            device: d,
+            offset,
+            len,
+        });
+        Ok(id)
+    }
+
+    /// Allocates on the device of a hierarchy node id.
+    pub fn alloc_on(&mut self, h: &Hierarchy, node: NodeId, len: u64) -> Result<FileId, StorageError> {
+        let name = h.node(node).name.clone();
+        self.alloc(&name, len)
+    }
+
+    fn meta(&self, file: FileId) -> &FileMeta {
+        &self.files[file.0]
+    }
+
+    fn check(&self, file: FileId, offset: u64, len: u64) -> Result<(), StorageError> {
+        let m = self.meta(file);
+        if offset + len > m.len {
+            return Err(StorageError::OutOfBounds {
+                file: file.0,
+                end: offset + len,
+                len: m.len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads `len` bytes at `offset` within `file`, advancing the clock.
+    pub fn read(&mut self, file: FileId, offset: u64, len: u64) -> Result<(), StorageError> {
+        self.check(file, offset, len)?;
+        let m = self.meta(file).clone();
+        let t = self.devices[m.device].read(m.offset + offset, len);
+        self.clock_seconds += t;
+        Ok(())
+    }
+
+    /// Writes `len` bytes at `offset` within `file`, advancing the clock.
+    pub fn write(&mut self, file: FileId, offset: u64, len: u64) -> Result<(), StorageError> {
+        self.check(file, offset, len)?;
+        let m = self.meta(file).clone();
+        let t = self.devices[m.device].write(m.offset + offset, len);
+        self.clock_seconds += t;
+        Ok(())
+    }
+
+    /// Adds pure computation time to the clock (the engine's CPU model).
+    pub fn charge_cpu(&mut self, seconds: f64) {
+        self.clock_seconds += seconds;
+    }
+
+    /// Simulated seconds elapsed so far.
+    pub fn clock(&self) -> f64 {
+        self.clock_seconds
+    }
+
+    /// File length in bytes.
+    pub fn len(&self, file: FileId) -> u64 {
+        self.meta(file).len
+    }
+
+    /// True if the file is empty.
+    pub fn is_empty(&self, file: FileId) -> bool {
+        self.len(file) == 0
+    }
+
+    /// Device name holding the file.
+    pub fn device_of(&self, file: FileId) -> &str {
+        self.devices[self.meta(file).device].name()
+    }
+
+    /// Statistics for a device by name.
+    pub fn device_stats(&self, device: &str) -> Option<DeviceStats> {
+        self.device_by_name
+            .get(device)
+            .map(|d| self.devices[*d].stats())
+    }
+
+    /// Frees the *most recent* allocations down to `mark` bytes on a device
+    /// (simple region deallocation for scratch space between merge levels).
+    pub fn truncate_device(&mut self, device: &str, mark: u64) -> Result<(), StorageError> {
+        let d = *self
+            .device_by_name
+            .get(device)
+            .ok_or_else(|| StorageError::UnknownDevice(device.to_string()))?;
+        self.allocated[d] = self.allocated[d].min(mark.max(0)).max(0);
+        Ok(())
+    }
+
+    /// Current allocation watermark of a device (pair with
+    /// [`StorageSim::truncate_device`]).
+    pub fn watermark(&self, device: &str) -> Option<u64> {
+        self.device_by_name.get(device).map(|d| self.allocated[*d])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocas_hierarchy::presets;
+
+    #[test]
+    fn alloc_read_write_and_clock() {
+        let h = presets::hdd_ram(1 << 25);
+        let mut sm = StorageSim::from_hierarchy(&h);
+        let f = sm.alloc("HDD", 1 << 20).unwrap();
+        sm.read(f, 0, 1 << 20).unwrap();
+        let t1 = sm.clock();
+        assert!(t1 > 0.0);
+        // Sequential second read seeks back (head moved past the extent).
+        sm.read(f, 0, 1 << 20).unwrap();
+        assert!(sm.clock() > 2.0 * t1 * 0.99);
+        let stats = sm.device_stats("HDD").unwrap();
+        assert_eq!(stats.bytes_read, 2 << 20);
+        assert_eq!(stats.seeks, 1);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let h = presets::hdd_ram(1 << 25);
+        let mut sm = StorageSim::from_hierarchy(&h);
+        let f = sm.alloc("HDD", 100).unwrap();
+        assert!(matches!(
+            sm.read(f, 64, 100),
+            Err(StorageError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let h = presets::hdd_ram(1 << 20);
+        let mut sm = StorageSim::from_hierarchy(&h);
+        assert!(sm.alloc("RAM", 1 << 19).is_ok());
+        assert!(matches!(
+            sm.alloc("RAM", 1 << 20),
+            Err(StorageError::Full(_))
+        ));
+        assert!(matches!(
+            sm.alloc("nope", 1),
+            Err(StorageError::UnknownDevice(_))
+        ));
+    }
+
+    #[test]
+    fn ram_files_are_free_to_access() {
+        let h = presets::hdd_ram(1 << 25);
+        let mut sm = StorageSim::from_hierarchy(&h);
+        let f = sm.alloc("RAM", 1 << 20).unwrap();
+        sm.read(f, 0, 1 << 20).unwrap();
+        sm.write(f, 0, 1 << 20).unwrap();
+        assert_eq!(sm.clock(), 0.0);
+    }
+
+    #[test]
+    fn truncate_reuses_scratch_space() {
+        let h = presets::hdd_ram(1 << 25);
+        let mut sm = StorageSim::from_hierarchy(&h);
+        let mark = sm.watermark("HDD").unwrap();
+        sm.alloc("HDD", 1 << 30).unwrap();
+        sm.truncate_device("HDD", mark).unwrap();
+        // Space is reusable afterwards.
+        for _ in 0..10 {
+            let m = sm.watermark("HDD").unwrap();
+            sm.alloc("HDD", 1 << 30).unwrap();
+            sm.truncate_device("HDD", m).unwrap();
+        }
+    }
+
+    #[test]
+    fn flash_device_in_manager() {
+        let h = presets::hdd_flash_ram(1 << 25);
+        let mut sm = StorageSim::from_hierarchy(&h);
+        let f = sm.alloc("SSD", 1 << 20).unwrap();
+        sm.write(f, 0, 1 << 20).unwrap();
+        let stats = sm.device_stats("SSD").unwrap();
+        assert_eq!(stats.erases, 4, "1 MiB / 256 KiB erase blocks");
+    }
+}

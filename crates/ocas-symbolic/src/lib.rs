@@ -1,0 +1,44 @@
+//! Symbolic arithmetic for the OCAS cost estimator.
+//!
+//! The OCAS synthesizer (Klonatos et al., *Automatic Synthesis of Out-of-Core
+//! Algorithms*, SIGMOD 2013, §5) characterizes the cost of a candidate program
+//! as a closed-form arithmetic expression over
+//!
+//! * input cardinalities (e.g. `x = |R|`, `y = |S|`),
+//! * tunable parameters (block sizes `k1`, `k2`, buffer sizes `b_in`, `b_out`),
+//! * exact device constants (`InitCom`, `UnitTr` weights from the hierarchy).
+//!
+//! This crate provides that expression language: construction with overloaded
+//! operators, a canonicalizing [`simplify`] pass with **closed-form bounded
+//! sums** (the paper's §7.2 shows the engine turning the naive insertion-sort
+//! cost `Σ_{j=0}^{x-1}(InitCom + (j+1)(…))` into `x·InitCom + x(x+1)/2·(…)`;
+//! the same machinery lives in [`simplify`]), and numeric [`eval`]uation used
+//! by the parameter optimizer.
+//!
+//! # Example
+//!
+//! ```
+//! use ocas_symbolic::{Expr, Env, simplify, eval};
+//!
+//! // Cost of a blocked scan: ceil(x/k) seeks plus x transfer units.
+//! let x = Expr::var("x");
+//! let k = Expr::var("k");
+//! let cost = (x.clone() / k).ceil() * Expr::rat(15, 1000) + x * Expr::rat(1, 31457280);
+//! let cost = simplify(&cost);
+//! let env = Env::new().with("x", 1_073_741_824.0).with("k", 8.0 * 1024.0 * 1024.0);
+//! let seconds = eval(&cost, &env).unwrap();
+//! assert!(seconds > 30.0 && seconds < 40.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eval;
+mod expr;
+mod rat;
+mod simplify;
+
+pub use eval::{eval, Env, EvalError};
+pub use expr::Expr;
+pub use rat::Rat;
+pub use simplify::simplify;

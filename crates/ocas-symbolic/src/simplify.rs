@@ -1,0 +1,515 @@
+//! Normalization of [`Expr`] into a canonical sum-of-products form.
+//!
+//! The canonical form is a polynomial with exact rational coefficients over
+//! *atoms* — maximal subexpressions that are not themselves sums, products or
+//! integer powers (variables, `ceil`, `max`, `log2`, unexpanded `Σ`, and
+//! multi-term denominators). Two cost formulas that the paper would consider
+//! "the same after its arithmetic engine runs" normalize to identical trees,
+//! which the synthesizer exploits both for display and for deduplication.
+
+use crate::expr::Expr;
+use crate::rat::Rat;
+use std::collections::BTreeMap;
+
+/// A monomial: atoms with non-zero integer exponents.
+type Monomial = BTreeMap<Expr, i32>;
+
+/// A polynomial: monomials with non-zero rational coefficients.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct Poly {
+    terms: BTreeMap<Monomial, Rat>,
+}
+
+impl Poly {
+    fn constant(r: Rat) -> Poly {
+        let mut terms = BTreeMap::new();
+        if !r.is_zero() {
+            terms.insert(Monomial::new(), r);
+        }
+        Poly { terms }
+    }
+
+    fn atom(a: Expr) -> Poly {
+        if let Expr::Const(r) = a {
+            return Poly::constant(r);
+        }
+        let mut m = Monomial::new();
+        m.insert(a, 1);
+        let mut terms = BTreeMap::new();
+        terms.insert(m, Rat::ONE);
+        Poly { terms }
+    }
+
+    fn add(&self, other: &Poly) -> Poly {
+        let mut out = self.terms.clone();
+        for (m, c) in &other.terms {
+            let entry = out.entry(m.clone()).or_insert(Rat::ZERO);
+            *entry = *entry + *c;
+            if entry.is_zero() {
+                out.remove(m);
+            }
+        }
+        Poly { terms: out }
+    }
+
+    fn neg(&self) -> Poly {
+        Poly {
+            terms: self.terms.iter().map(|(m, c)| (m.clone(), -*c)).collect(),
+        }
+    }
+
+    fn mul(&self, other: &Poly) -> Poly {
+        let mut out: BTreeMap<Monomial, Rat> = BTreeMap::new();
+        for (m1, c1) in &self.terms {
+            for (m2, c2) in &other.terms {
+                let mut m = m1.clone();
+                for (a, e) in m2 {
+                    let slot = m.entry(a.clone()).or_insert(0);
+                    *slot += e;
+                    if *slot == 0 {
+                        m.remove(a);
+                    }
+                }
+                let c = *c1 * *c2;
+                let entry = out.entry(m).or_insert(Rat::ZERO);
+                *entry = *entry + c;
+            }
+        }
+        out.retain(|_, c| !c.is_zero());
+        Poly { terms: out }
+    }
+
+    fn powi(&self, exp: u32) -> Poly {
+        let mut out = Poly::constant(Rat::ONE);
+        for _ in 0..exp {
+            out = out.mul(self);
+        }
+        out
+    }
+
+    fn as_const(&self) -> Option<Rat> {
+        if self.terms.is_empty() {
+            return Some(Rat::ZERO);
+        }
+        if self.terms.len() == 1 {
+            let (m, c) = self.terms.iter().next().unwrap();
+            if m.is_empty() {
+                return Some(*c);
+            }
+        }
+        None
+    }
+
+    /// The single-monomial view, if this polynomial has exactly one term.
+    fn as_single(&self) -> Option<(&Monomial, Rat)> {
+        if self.terms.len() == 1 {
+            let (m, c) = self.terms.iter().next().unwrap();
+            Some((m, *c))
+        } else {
+            None
+        }
+    }
+}
+
+/// Simplifies an expression into canonical sum-of-products form.
+pub fn simplify(e: &Expr) -> Expr {
+    from_poly(&to_poly(e))
+}
+
+fn to_poly(e: &Expr) -> Poly {
+    match e {
+        Expr::Const(r) => Poly::constant(*r),
+        Expr::Var(_) => Poly::atom(e.clone()),
+        Expr::Add(xs) => {
+            let mut acc = Poly::default();
+            for x in xs {
+                acc = acc.add(&to_poly(x));
+            }
+            acc
+        }
+        Expr::Mul(xs) => product_poly(xs.iter().map(|x| (x.clone(), 1))),
+        Expr::Pow(base, k) => product_poly([((**base).clone(), *k)]),
+        Expr::Ceil(inner) => rounded(inner, true),
+        Expr::Floor(inner) => rounded(inner, false),
+        Expr::Max(xs) => fold_minmax(xs, true),
+        Expr::Min(xs) => fold_minmax(xs, false),
+        Expr::Log2(inner) => {
+            let p = to_poly(inner);
+            if let Some(c) = p.as_const() {
+                if let Some(l) = c.exact_log2() {
+                    return Poly::constant(Rat::int(l as i128));
+                }
+            }
+            Poly::atom(Expr::Log2(Box::new(from_poly(&p))))
+        }
+        Expr::Sum {
+            var,
+            from,
+            to,
+            body,
+        } => sum_poly(var, from, to, body),
+    }
+}
+
+/// Multiplies a list of `(factor, exponent)` pairs. Factors are first
+/// canonicalized and collected into a multiset so that syntactically equal
+/// factors with opposite exponents cancel *before* polynomial expansion —
+/// this is what makes `(x+1) * 1/(x+1)` collapse to `1` even though the
+/// inverse of a multi-term polynomial is otherwise an opaque atom.
+fn product_poly(factors: impl IntoIterator<Item = (Expr, i32)>) -> Poly {
+    let mut coeff = Rat::ONE;
+    let mut bases: BTreeMap<Expr, i32> = BTreeMap::new();
+    let mut saw_zero = false;
+    let mut stack: Vec<(Expr, i32)> = factors.into_iter().collect();
+    while let Some((x, k)) = stack.pop() {
+        match x {
+            Expr::Mul(inner) => stack.extend(inner.into_iter().map(|i| (i, k))),
+            Expr::Pow(b, j) => stack.push((*b, k.saturating_mul(j))),
+            other => {
+                let s = simplify(&other);
+                match s {
+                    Expr::Const(r) => {
+                        if r.is_zero() {
+                            saw_zero = true;
+                        } else {
+                            coeff = coeff * r.powi(k);
+                        }
+                    }
+                    s => *bases.entry(s).or_insert(0) += k,
+                }
+            }
+        }
+    }
+    if saw_zero {
+        return Poly::default();
+    }
+    let mut acc = Poly::constant(coeff);
+    for (base, exp) in bases {
+        if exp != 0 {
+            acc = acc.mul(&pow_poly(&to_poly(&base), exp));
+        }
+    }
+    acc
+}
+
+fn pow_poly(p: &Poly, k: i32) -> Poly {
+    if k == 0 {
+        return Poly::constant(Rat::ONE);
+    }
+    if k > 0 {
+        return p.powi(k as u32);
+    }
+    // Negative exponent: invert. Exact inversion is possible for a single
+    // monomial; otherwise the whole polynomial becomes an atom.
+    if let Some(c) = p.as_const() {
+        return Poly::constant(c.powi(k));
+    }
+    if let Some((m, c)) = p.as_single() {
+        let mut inv = Monomial::new();
+        for (a, e) in m {
+            inv.insert(a.clone(), -e);
+        }
+        let base = Poly {
+            terms: [(inv, c.recip())].into_iter().collect(),
+        };
+        return base.powi((-k) as u32);
+    }
+    let atom = from_poly(p);
+    let mut m = Monomial::new();
+    m.insert(atom, k);
+    Poly {
+        terms: [(m, Rat::ONE)].into_iter().collect(),
+    }
+}
+
+/// `ceil`/`floor` handling: fold constants, collapse nested rounding, and pull
+/// integer-constant addends out (`ceil(x + 3) = ceil(x) + 3`).
+fn rounded(inner: &Expr, is_ceil: bool) -> Poly {
+    let p = to_poly(inner);
+    if let Some(c) = p.as_const() {
+        return Poly::constant(if is_ceil { c.ceil() } else { c.floor() });
+    }
+    // Split off an integer constant addend.
+    let mut shifted = p.clone();
+    let mut offset = Rat::ZERO;
+    if let Some(c) = shifted.terms.get(&Monomial::new()).copied() {
+        if c.is_integer() {
+            offset = c;
+            shifted.terms.remove(&Monomial::new());
+        }
+    }
+    let rebuilt = from_poly(&shifted);
+    // Nested rounding of the same kind collapses; a bare rounded atom of an
+    // already-rounded expression also collapses.
+    let atom = match (&rebuilt, is_ceil) {
+        (Expr::Ceil(_), true) | (Expr::Floor(_), false) => rebuilt,
+        _ if is_ceil => Expr::Ceil(Box::new(rebuilt)),
+        _ => Expr::Floor(Box::new(rebuilt)),
+    };
+    Poly::atom(atom).add(&Poly::constant(offset))
+}
+
+fn fold_minmax(xs: &[Expr], is_max: bool) -> Poly {
+    let mut consts: Vec<Rat> = Vec::new();
+    let mut others: Vec<Expr> = Vec::new();
+    let mut stack: Vec<Expr> = xs.to_vec();
+    while let Some(x) = stack.pop() {
+        // Flatten same-kind nesting.
+        match (&x, is_max) {
+            (Expr::Max(inner), true) | (Expr::Min(inner), false) => {
+                stack.extend(inner.iter().cloned());
+                continue;
+            }
+            _ => {}
+        }
+        let s = simplify(&x);
+        match s.as_const() {
+            Some(c) => consts.push(c),
+            None => {
+                if !others.contains(&s) {
+                    others.push(s);
+                }
+            }
+        }
+    }
+    let folded = if is_max {
+        consts.into_iter().max()
+    } else {
+        consts.into_iter().min()
+    };
+    let mut items = others;
+    if let Some(c) = folded {
+        items.push(Expr::Const(c));
+    }
+    items.sort();
+    items.dedup();
+    match items.len() {
+        0 => Poly::default(),
+        1 => to_poly(&items[0]),
+        _ => Poly::atom(if is_max {
+            Expr::Max(items)
+        } else {
+            Expr::Min(items)
+        }),
+    }
+}
+
+/// Closed-form extraction for `Σ_{var=from}^{to} body` when `body` is a
+/// polynomial of degree ≤ 3 in `var` (Faulhaber). Falls back to an unexpanded
+/// `Sum` atom otherwise.
+fn sum_poly(var: &str, from: &Expr, to: &Expr, body: &Expr) -> Poly {
+    let from_p = to_poly(from);
+    let to_p = to_poly(to);
+    let body_p = to_poly(body);
+    let a = from_poly(&from_p);
+    let b = from_poly(&to_p);
+
+    // Collect the body as Σ coeff(rest) * var^p. Bail out if `var` occurs
+    // inside a non-variable atom (e.g. ceil(var/2)).
+    let var_atom = Expr::Var(var.to_string());
+    let mut by_power: BTreeMap<i32, Poly> = BTreeMap::new();
+    for (m, c) in &body_p.terms {
+        let mut power = 0;
+        let mut rest = Monomial::new();
+        let mut opaque = false;
+        for (atom, e) in m {
+            if *atom == var_atom {
+                power = *e;
+            } else if atom.vars().contains(var) {
+                opaque = true;
+                break;
+            } else {
+                rest.insert(atom.clone(), *e);
+            }
+        }
+        if opaque || !(0..=3).contains(&power) {
+            let atom = Expr::Sum {
+                var: var.to_string(),
+                from: Box::new(a),
+                to: Box::new(b),
+                body: Box::new(from_poly(&body_p)),
+            };
+            return Poly::atom(atom);
+        }
+        let term = Poly {
+            terms: [(rest, *c)].into_iter().collect(),
+        };
+        let slot = by_power.entry(power).or_default();
+        *slot = slot.add(&term);
+    }
+
+    // Σ_{j=a}^{b} j^p  via prefix sums  S_p(b) - S_p(a-1).
+    let prefix = |p: i32, n: &Poly| -> Poly {
+        // S_p(n) = Σ_{j=1}^{n} j^p (valid as a polynomial identity for all n).
+        let n1 = n.add(&Poly::constant(Rat::ONE));
+        match p {
+            0 => n.clone(),
+            1 => n.mul(&n1).mul(&Poly::constant(Rat::new(1, 2))),
+            2 => {
+                let two_n1 = n.mul(&Poly::constant(Rat::int(2))).add(&Poly::constant(Rat::ONE));
+                n.mul(&n1).mul(&two_n1).mul(&Poly::constant(Rat::new(1, 6)))
+            }
+            3 => {
+                let s1 = n.mul(&n1).mul(&Poly::constant(Rat::new(1, 2)));
+                s1.mul(&s1)
+            }
+            _ => unreachable!("degree checked above"),
+        }
+    };
+    let a_minus_1 = from_p.add(&Poly::constant(Rat::ONE).neg());
+    let mut acc = Poly::default();
+    for (p, coeff) in by_power {
+        let span = prefix(p, &to_p).add(&prefix(p, &a_minus_1).neg());
+        acc = acc.add(&coeff.mul(&span));
+    }
+    acc
+}
+
+fn from_poly(p: &Poly) -> Expr {
+    if p.terms.is_empty() {
+        return Expr::int(0);
+    }
+    let mut terms: Vec<Expr> = Vec::with_capacity(p.terms.len());
+    for (m, c) in &p.terms {
+        let mut factors: Vec<Expr> = Vec::new();
+        if !c.is_one() || m.is_empty() {
+            factors.push(Expr::Const(*c));
+        }
+        for (atom, e) in m {
+            match *e {
+                1 => factors.push(atom.clone()),
+                k => factors.push(Expr::Pow(Box::new(atom.clone()), k)),
+            }
+        }
+        terms.push(match factors.len() {
+            1 => factors.pop().unwrap(),
+            _ => Expr::Mul(factors),
+        });
+    }
+    if terms.len() == 1 {
+        terms.pop().unwrap()
+    } else {
+        Expr::Add(terms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Expr {
+        Expr::var(n)
+    }
+
+    #[test]
+    fn combines_like_terms() {
+        let x = v("x");
+        let e = x.clone() + x.clone() + Expr::int(3) * x.clone() - x.clone();
+        assert_eq!(simplify(&e), simplify(&(Expr::int(4) * v("x"))));
+    }
+
+    #[test]
+    fn cancels_divisions() {
+        let e = v("k") * v("x") / v("k");
+        assert_eq!(simplify(&e), Expr::var("x"));
+    }
+
+    #[test]
+    fn expands_products() {
+        let e = (v("x") + Expr::int(1)) * (v("x") - Expr::int(1));
+        let expect = simplify(&(v("x") * v("x") - Expr::int(1)));
+        assert_eq!(simplify(&e), expect);
+    }
+
+    #[test]
+    fn folds_constants() {
+        let e = Expr::rat(1, 2) + Expr::rat(1, 3) * Expr::int(6);
+        assert_eq!(simplify(&e), Expr::rat(5, 2));
+    }
+
+    #[test]
+    fn paper_insertion_sort_sum() {
+        // Σ_{j=0}^{x-1} (seek + (j+1)·unit)  =  x·seek + x(x+1)/2·unit
+        let body = v("seek") + (v("j") + Expr::int(1)) * v("unit");
+        let s = Expr::sum("j", Expr::int(0), v("x") - Expr::int(1), body);
+        let got = simplify(&s);
+        let expect = simplify(
+            &(v("x") * v("seek")
+                + v("x") * (v("x") + Expr::int(1)) * Expr::rat(1, 2) * v("unit")),
+        );
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sum_of_squares_closed_form() {
+        let s = Expr::sum("j", Expr::int(1), v("n"), v("j") * v("j"));
+        let got = simplify(&s);
+        let expect = simplify(
+            &(v("n") * (v("n") + Expr::int(1)) * (Expr::int(2) * v("n") + Expr::int(1))
+                * Expr::rat(1, 6)),
+        );
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn opaque_sum_is_kept() {
+        let s = Expr::sum("j", Expr::int(0), v("n"), Expr::Ceil(Box::new(v("j"))));
+        let got = simplify(&s);
+        assert!(matches!(got, Expr::Sum { .. }), "got {got}");
+    }
+
+    #[test]
+    fn minmax_folding() {
+        let e = Expr::max_of(vec![Expr::int(3), Expr::int(7), v("x")]);
+        match simplify(&e) {
+            Expr::Max(items) => {
+                assert_eq!(items.len(), 2);
+                assert!(items.contains(&Expr::int(7)));
+                assert!(items.contains(&v("x")));
+            }
+            other => panic!("expected max, got {other}"),
+        }
+        assert_eq!(
+            simplify(&Expr::min_of(vec![Expr::int(3), Expr::int(7)])),
+            Expr::int(3)
+        );
+        assert_eq!(simplify(&Expr::max_of(vec![v("x"), v("x")])), v("x"));
+    }
+
+    #[test]
+    fn ceil_constant_and_offset() {
+        assert_eq!(simplify(&Expr::rat(7, 2).ceil()), Expr::int(4));
+        let e = (v("x") + Expr::int(3)).ceil();
+        let got = simplify(&e);
+        let expect = simplify(&(v("x").ceil() + Expr::int(3)));
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn log2_power_of_two() {
+        assert_eq!(simplify(&Expr::int(1024).log2()), Expr::int(10));
+        assert!(matches!(simplify(&v("x").log2()), Expr::Log2(_)));
+    }
+
+    #[test]
+    fn division_by_multiterm_is_atom_but_cancels() {
+        let d = v("x") + Expr::int(1);
+        let e = d.clone() * (Expr::one() / d.clone());
+        assert_eq!(simplify(&e), Expr::int(1));
+    }
+
+    #[test]
+    fn simplify_is_idempotent() {
+        let exprs = [
+            v("x") / v("k") + v("y") * Expr::rat(2, 3),
+            Expr::sum("j", Expr::int(0), v("n"), v("j")),
+            Expr::max_of(vec![v("a"), v("b"), Expr::int(1)]),
+            (v("x") + Expr::int(2)).ceil() * v("k").recip(),
+        ];
+        for e in exprs {
+            let once = simplify(&e);
+            let twice = simplify(&once);
+            assert_eq!(once, twice, "not idempotent for {e}");
+        }
+    }
+}

@@ -1,0 +1,426 @@
+//! The library of naive, memory-hierarchy-oblivious specifications —
+//! one per workload in the paper's Table 1.
+//!
+//! Each spec pairs an OCAL program with its typing environment, annotated
+//! input sizes (symbolic cardinalities `x`, `y` plus concrete statistics),
+//! the equivalence notion candidates must preserve, and the engine's
+//! workload hint.
+
+use ocal::{parse, CardHint, Expr, SizeHint, Type, TypeEnv};
+use ocas_cost::Annot;
+use ocas_engine::WorkloadHint;
+use ocas_rewrite::Equivalence;
+use ocas_symbolic::{Env, Expr as Sym};
+use std::collections::BTreeMap;
+
+/// A complete specification: the input to the synthesizer.
+#[derive(Debug, Clone)]
+pub struct Spec {
+    /// Workload name (Table 1 row).
+    pub name: String,
+    /// The naive OCAL program.
+    pub program: Expr,
+    /// Input types.
+    pub env: TypeEnv,
+    /// Annotated input sizes (symbolic cardinalities).
+    pub annots: BTreeMap<String, Annot>,
+    /// Concrete cardinalities for the symbolic variables.
+    pub stats: Env,
+    /// Equivalence notion candidates must preserve.
+    pub equivalence: Equivalence,
+    /// Whether the workload's contract requires sorted inputs.
+    pub sorted_inputs: bool,
+    /// Engine lowering hint.
+    pub hint: WorkloadHint,
+    /// Bytes per atomic value in the cost model.
+    pub int_size: u64,
+}
+
+fn rel_ty() -> Type {
+    Type::list(Type::tuple(vec![Type::Int, Type::Int]))
+}
+
+fn must(src: &str) -> Expr {
+    parse(src).unwrap_or_else(|e| panic!("spec parse error: {e}\n{src}"))
+}
+
+/// The naive nested-loops join of Example 1 (`x.1 == y.1`), or the
+/// relational product when `cross` (the paper's write-out rows).
+///
+/// `x_card`/`y_card` are the relation cardinalities in tuples.
+pub fn join(x_card: u64, y_card: u64, cross: bool) -> Spec {
+    let cond = if cross { "true" } else { "x.1 == y.1" };
+    let program = must(&format!(
+        "for (x <- R) for (y <- S) if {cond} then [<x, y>] else []"
+    ));
+    let env: TypeEnv = [("R".to_string(), rel_ty()), ("S".to_string(), rel_ty())]
+        .into_iter()
+        .collect();
+    let mut annots = BTreeMap::new();
+    annots.insert("R".to_string(), Annot::relation(Sym::var("x"), 2, 8));
+    annots.insert("S".to_string(), Annot::relation(Sym::var("y"), 2, 8));
+    Spec {
+        name: if cross { "product-join" } else { "bnl-join" }.to_string(),
+        program,
+        env,
+        annots,
+        stats: Env::new().with("x", x_card as f64).with("y", y_card as f64),
+        // order-inputs may swap the relations, permuting each output row's
+        // halves; the paper considers the results interchangeable.
+        equivalence: Equivalence::BagModuloFieldOrder,
+        sorted_inputs: false,
+        hint: WorkloadHint::Join { cross },
+        int_size: 8,
+    }
+}
+
+/// Insertion sort as `foldL([], unfoldR(mrg))` over a list of singleton
+/// lists (paper §7.2). Unary 1-byte elements, as in Figure 4.
+pub fn sort(card: u64) -> Spec {
+    let program = must("foldL([], unfoldR(mrg))(R)");
+    let env: TypeEnv = [("R".to_string(), Type::list(Type::list(Type::Int)))]
+        .into_iter()
+        .collect();
+    let mut annots = BTreeMap::new();
+    annots.insert(
+        "R".to_string(),
+        Annot::list(Annot::list(Annot::atom(1), Sym::one()), Sym::var("x")),
+    );
+    Spec {
+        name: "external-sort".to_string(),
+        program,
+        env,
+        annots,
+        stats: Env::new().with("x", card as f64),
+        equivalence: Equivalence::Exact,
+        sorted_inputs: true,
+        hint: WorkloadHint::Sort,
+        int_size: 1,
+    }
+}
+
+fn int_list_env(names: &[&str]) -> TypeEnv {
+    names
+        .iter()
+        .map(|n| (n.to_string(), Type::list(Type::Int)))
+        .collect()
+}
+
+fn unary_annots(names: &[&str], cards: &[&str]) -> BTreeMap<String, Annot> {
+    names
+        .iter()
+        .zip(cards)
+        .map(|(n, c)| (n.to_string(), Annot::relation(Sym::var(*c), 1, 8)))
+        .collect()
+}
+
+/// Set union of sorted unique integer lists: a one-pass merge that emits
+/// equal heads once.
+pub fn set_union(x_card: u64, y_card: u64) -> Spec {
+    let step = "\\p. if length(p.1) == 0 && length(p.2) == 0 then <[], <[], []>> \
+                else if length(p.1) == 0 then <[head(p.2)], <[], tail(p.2)>> \
+                else if length(p.2) == 0 then <[head(p.1)], <tail(p.1), []>> \
+                else if head(p.1) < head(p.2) then <[head(p.1)], <tail(p.1), p.2>> \
+                else if head(p.2) < head(p.1) then <[head(p.2)], <p.1, tail(p.2)>> \
+                else <[head(p.1)], <tail(p.1), tail(p.2)>>";
+    let program = must(&format!("unfoldR({step})(<A, B>)"));
+    Spec {
+        name: "set-union".to_string(),
+        program,
+        env: int_list_env(&["A", "B"]),
+        annots: unary_annots(&["A", "B"], &["x", "y"]),
+        stats: Env::new().with("x", x_card as f64).with("y", y_card as f64),
+        equivalence: Equivalence::Exact,
+        sorted_inputs: true,
+        hint: WorkloadHint::SetUnion,
+        int_size: 8,
+    }
+}
+
+/// Multiset union in the sorted-list representation: plain `unfoldR(mrg)`.
+pub fn multiset_union_sorted(x_card: u64, y_card: u64) -> Spec {
+    let program = must("unfoldR(mrg)(<A, B>)");
+    Spec {
+        name: "multiset-union-sorted".to_string(),
+        program,
+        env: int_list_env(&["A", "B"]),
+        annots: unary_annots(&["A", "B"], &["x", "y"]),
+        stats: Env::new().with("x", x_card as f64).with("y", y_card as f64),
+        equivalence: Equivalence::Exact,
+        sorted_inputs: true,
+        hint: WorkloadHint::MultisetUnionSorted,
+        int_size: 8,
+    }
+}
+
+/// Multiset union in the value–multiplicity representation: equal values
+/// add their multiplicities.
+pub fn multiset_union_vm(x_card: u64, y_card: u64) -> Spec {
+    let step = "\\p. if length(p.1) == 0 && length(p.2) == 0 then <[], <[], []>> \
+                else if length(p.1) == 0 then <[head(p.2)], <[], tail(p.2)>> \
+                else if length(p.2) == 0 then <[head(p.1)], <tail(p.1), []>> \
+                else if head(p.1).1 < head(p.2).1 then <[head(p.1)], <tail(p.1), p.2>> \
+                else if head(p.2).1 < head(p.1).1 then <[head(p.2)], <p.1, tail(p.2)>> \
+                else <[<head(p.1).1, head(p.1).2 + head(p.2).2>], <tail(p.1), tail(p.2)>>";
+    let program = must(&format!("unfoldR({step})(<A, B>)"));
+    let env: TypeEnv = [("A".to_string(), rel_ty()), ("B".to_string(), rel_ty())]
+        .into_iter()
+        .collect();
+    let mut annots = BTreeMap::new();
+    annots.insert("A".to_string(), Annot::relation(Sym::var("x"), 2, 8));
+    annots.insert("B".to_string(), Annot::relation(Sym::var("y"), 2, 8));
+    Spec {
+        name: "multiset-union-vm".to_string(),
+        program,
+        env,
+        annots,
+        stats: Env::new().with("x", x_card as f64).with("y", y_card as f64),
+        equivalence: Equivalence::Exact,
+        sorted_inputs: true,
+        hint: WorkloadHint::MultisetUnionVm,
+        int_size: 8,
+    }
+}
+
+/// Multiset difference, sorted-list representation. The result-size
+/// annotation `[8]_x` is the paper's §5.1 programmer hint (worst case: no
+/// common element).
+pub fn multiset_diff_sorted(x_card: u64, y_card: u64) -> Spec {
+    let step = "\\p. if length(p.1) == 0 then <[], <[], []>> \
+                else if length(p.2) == 0 then <[head(p.1)], <tail(p.1), []>> \
+                else if head(p.1) < head(p.2) then <[head(p.1)], <tail(p.1), p.2>> \
+                else if head(p.2) < head(p.1) then <[], <p.1, tail(p.2)>> \
+                else <[], <tail(p.1), tail(p.2)>>";
+    let program = must(&format!("unfoldR({step})(<A, B>)")).sized(SizeHint::List(
+        Box::new(SizeHint::Atom(8)),
+        CardHint::Var("x".into()),
+    ));
+    Spec {
+        name: "multiset-diff-sorted".to_string(),
+        program,
+        env: int_list_env(&["A", "B"]),
+        annots: unary_annots(&["A", "B"], &["x", "y"]),
+        stats: Env::new().with("x", x_card as f64).with("y", y_card as f64),
+        equivalence: Equivalence::Exact,
+        sorted_inputs: true,
+        hint: WorkloadHint::MultisetDiffSorted,
+        int_size: 8,
+    }
+}
+
+/// Multiset difference, value–multiplicity representation.
+pub fn multiset_diff_vm(x_card: u64, y_card: u64) -> Spec {
+    let step = "\\p. if length(p.1) == 0 then <[], <[], []>> \
+                else if length(p.2) == 0 then <[head(p.1)], <tail(p.1), []>> \
+                else if head(p.1).1 < head(p.2).1 then <[head(p.1)], <tail(p.1), p.2>> \
+                else if head(p.2).1 < head(p.1).1 then <[], <p.1, tail(p.2)>> \
+                else if head(p.1).2 > head(p.2).2 \
+                then <[<head(p.1).1, head(p.1).2 - head(p.2).2>], <tail(p.1), tail(p.2)>> \
+                else <[], <tail(p.1), tail(p.2)>>";
+    let program = must(&format!("unfoldR({step})(<A, B>)")).sized(SizeHint::List(
+        Box::new(SizeHint::Tuple(vec![SizeHint::Atom(8), SizeHint::Atom(8)])),
+        CardHint::Var("x".into()),
+    ));
+    let env: TypeEnv = [("A".to_string(), rel_ty()), ("B".to_string(), rel_ty())]
+        .into_iter()
+        .collect();
+    let mut annots = BTreeMap::new();
+    annots.insert("A".to_string(), Annot::relation(Sym::var("x"), 2, 8));
+    annots.insert("B".to_string(), Annot::relation(Sym::var("y"), 2, 8));
+    Spec {
+        name: "multiset-diff-vm".to_string(),
+        program,
+        env,
+        annots,
+        stats: Env::new().with("x", x_card as f64).with("y", y_card as f64),
+        equivalence: Equivalence::Exact,
+        sorted_inputs: true,
+        hint: WorkloadHint::MultisetDiffVm,
+        int_size: 8,
+    }
+}
+
+/// Column-store read of `n` columns: `unfoldR(zip[n])`.
+pub fn column_read(n: usize, card: u64) -> Spec {
+    let names: Vec<String> = (1..=n).map(|i| format!("C{i}")).collect();
+    let tuple = names.join(", ");
+    let program = must(&format!("unfoldR(zip[{n}])(<{tuple}>)"));
+    let env: TypeEnv = names
+        .iter()
+        .map(|c| (c.clone(), Type::list(Type::Int)))
+        .collect();
+    let annots: BTreeMap<String, Annot> = names
+        .iter()
+        .map(|c| (c.clone(), Annot::relation(Sym::var("n"), 1, 8)))
+        .collect();
+    Spec {
+        name: format!("column-read-{n}"),
+        program,
+        env,
+        annots,
+        stats: Env::new().with("n", card as f64),
+        equivalence: Equivalence::Exact,
+        sorted_inputs: false,
+        hint: WorkloadHint::Columns,
+        int_size: 8,
+    }
+}
+
+/// Duplicate removal from a sorted list: the staggered-merge formulation
+/// `[head(L)] ⊔ unfoldR(step)(⟨tail(L), L⟩)` (adjacent-pair comparison as a
+/// one-pass stream; see DESIGN.md for why the fold formulation is not used).
+pub fn dedup_sorted(card: u64) -> Spec {
+    let step = "\\p. if length(p.1) == 0 then <[], <[], []>> \
+                else if head(p.1) == head(p.2) then <[], <tail(p.1), tail(p.2)>> \
+                else <[head(p.1)], <tail(p.1), tail(p.2)>>";
+    let program = must(&format!(
+        "if length(L) == 0 then [] else [head(L)] ++ unfoldR({step})(<tail(L), L>)"
+    ));
+    Spec {
+        name: "dedup-sorted".to_string(),
+        program,
+        env: int_list_env(&["L"]),
+        annots: unary_annots(&["L"], &["x"]),
+        stats: Env::new().with("x", card as f64),
+        equivalence: Equivalence::Exact,
+        sorted_inputs: true,
+        hint: WorkloadHint::Dedup,
+        int_size: 8,
+    }
+}
+
+/// Aggregation: `avg(L)`.
+pub fn aggregate(card: u64) -> Spec {
+    let program = must("avg(L)");
+    Spec {
+        name: "aggregation".to_string(),
+        program,
+        env: int_list_env(&["L"]),
+        annots: unary_annots(&["L"], &["x"]),
+        stats: Env::new().with("x", card as f64),
+        equivalence: Equivalence::Exact,
+        sorted_inputs: false,
+        hint: WorkloadHint::Aggregate,
+        int_size: 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocal::{typecheck, Evaluator, Value};
+
+    fn eval_spec(spec: &Spec, inputs: &[(&str, Value)]) -> Value {
+        let map: BTreeMap<String, Value> = inputs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
+        Evaluator::new().run(&spec.program, &map).unwrap()
+    }
+
+    #[test]
+    fn all_specs_typecheck() {
+        let specs = [
+            join(100, 50, false),
+            join(100, 50, true),
+            sort(100),
+            set_union(10, 10),
+            multiset_union_sorted(10, 10),
+            multiset_union_vm(10, 10),
+            multiset_diff_sorted(10, 10),
+            multiset_diff_vm(10, 10),
+            column_read(5, 100),
+            column_read(10, 100),
+            dedup_sorted(100),
+            aggregate(100),
+        ];
+        for s in &specs {
+            typecheck(&s.program, &s.env)
+                .unwrap_or_else(|e| panic!("{} fails to typecheck: {e}", s.name));
+        }
+    }
+
+    #[test]
+    fn set_union_semantics() {
+        let s = set_union(4, 4);
+        let out = eval_spec(
+            &s,
+            &[
+                ("A", Value::int_list(&[1, 3, 5])),
+                ("B", Value::int_list(&[1, 2, 5, 7])),
+            ],
+        );
+        assert_eq!(out, Value::int_list(&[1, 2, 3, 5, 7]));
+    }
+
+    #[test]
+    fn multiset_union_vm_adds_multiplicities() {
+        let s = multiset_union_vm(2, 2);
+        let out = eval_spec(
+            &s,
+            &[
+                ("A", Value::pair_list(&[(1, 2), (4, 1)])),
+                ("B", Value::pair_list(&[(1, 3), (9, 9)])),
+            ],
+        );
+        assert_eq!(out, Value::pair_list(&[(1, 5), (4, 1), (9, 9)]));
+    }
+
+    #[test]
+    fn multiset_diff_semantics() {
+        let s = multiset_diff_sorted(5, 3);
+        let out = eval_spec(
+            &s,
+            &[
+                ("A", Value::int_list(&[1, 2, 2, 3, 9])),
+                ("B", Value::int_list(&[2, 3, 7])),
+            ],
+        );
+        assert_eq!(out, Value::int_list(&[1, 2, 9]));
+
+        let vm = multiset_diff_vm(2, 2);
+        let out = eval_spec(
+            &vm,
+            &[
+                ("A", Value::pair_list(&[(1, 5), (2, 1)])),
+                ("B", Value::pair_list(&[(1, 2), (2, 4)])),
+            ],
+        );
+        assert_eq!(out, Value::pair_list(&[(1, 3)]));
+    }
+
+    #[test]
+    fn dedup_semantics() {
+        let s = dedup_sorted(8);
+        let out = eval_spec(&s, &[("L", Value::int_list(&[1, 1, 2, 3, 3, 3, 8]))]);
+        assert_eq!(out, Value::int_list(&[1, 2, 3, 8]));
+        let empty = eval_spec(&s, &[("L", Value::int_list(&[]))]);
+        assert_eq!(empty, Value::int_list(&[]));
+    }
+
+    #[test]
+    fn column_read_semantics() {
+        let s = column_read(3, 2);
+        let out = eval_spec(
+            &s,
+            &[
+                ("C1", Value::int_list(&[1, 2])),
+                ("C2", Value::int_list(&[10, 20])),
+                ("C3", Value::int_list(&[100, 200])),
+            ],
+        );
+        assert_eq!(out.to_string(), "[<1, 10, 100>, <2, 20, 200>]");
+    }
+
+    #[test]
+    fn sort_spec_sorts() {
+        let s = sort(5);
+        let singletons = Value::list(vec![
+            Value::int_list(&[3]),
+            Value::int_list(&[1]),
+            Value::int_list(&[2]),
+        ]);
+        let out = eval_spec(&s, &[("R", singletons)]);
+        assert_eq!(out, Value::int_list(&[1, 2, 3]));
+    }
+}

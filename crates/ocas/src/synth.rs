@@ -1,0 +1,240 @@
+//! The synthesizer pipeline: search → cost → parameter tuning → best plan.
+
+use crate::specs::Spec;
+use ocal::Expr;
+use ocas_cost::{CostEngine, CostError, CostReport, Layout};
+use ocas_opt::{ladder_search, optimize, Optimum, Problem};
+use ocas_rewrite::{default_rules, search, Rule, SearchConfig, SearchStats, ValidationCfg};
+use ocas_symbolic::Expr as Sym;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One costed candidate.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The program.
+    pub program: Expr,
+    /// Derivation depth at which the search found it.
+    pub depth: u32,
+    /// Tuned parameter values.
+    pub params: BTreeMap<String, u64>,
+    /// Estimated seconds at the tuned parameters.
+    pub seconds: f64,
+    /// The symbolic cost formula.
+    pub formula: Sym,
+}
+
+/// The synthesizer's result.
+#[derive(Debug, Clone)]
+pub struct Synthesis {
+    /// The winning program with tuned parameters.
+    pub best: Candidate,
+    /// The specification's own (naive) cost, parameters tuned the same way.
+    pub spec: Candidate,
+    /// Search statistics (paper Table 1's space/steps/runtime columns).
+    pub stats: SearchStats,
+    /// How many candidates were costed successfully.
+    pub costed: usize,
+    /// How many candidates the cost engine could not analyze.
+    pub uncosted: usize,
+}
+
+/// Synthesizer errors.
+#[derive(Debug)]
+pub enum SynthError {
+    /// The specification itself failed to typecheck.
+    Type(ocal::TypeError),
+    /// The specification could not be costed.
+    Cost(CostError),
+    /// No candidate could be costed and tuned.
+    NoCandidate,
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::Type(e) => write!(f, "type error: {e}"),
+            SynthError::Cost(e) => write!(f, "cost error: {e}"),
+            SynthError::NoCandidate => write!(f, "no candidate program could be costed"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// The synthesizer: a hierarchy, a physical layout and search settings.
+pub struct Synthesizer {
+    /// Target memory hierarchy.
+    pub hierarchy: ocas_hierarchy::Hierarchy,
+    /// Physical layout of inputs/output/spill.
+    pub layout: Layout,
+    /// BFS depth limit.
+    pub max_depth: u32,
+    /// Cap on the explored program count.
+    pub max_programs: usize,
+    /// Enable differential validation of candidates.
+    pub validate: bool,
+    /// Rule names to exclude (per-experiment scoping, e.g. disabling
+    /// *hash-part* to study plain BNL).
+    pub exclude_rules: Vec<String>,
+    /// How many ladder-screened candidates get the full pattern-search
+    /// refinement.
+    pub refine_top: usize,
+}
+
+impl Synthesizer {
+    /// A synthesizer with default settings.
+    pub fn new(hierarchy: ocas_hierarchy::Hierarchy, layout: Layout) -> Synthesizer {
+        Synthesizer {
+            hierarchy,
+            layout,
+            max_depth: 6,
+            max_programs: 2000,
+            validate: true,
+            exclude_rules: Vec::new(),
+            refine_top: 5,
+        }
+    }
+
+    /// Sets the search depth, builder style.
+    pub fn with_depth(mut self, depth: u32) -> Synthesizer {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Caps the explored space, builder style.
+    pub fn with_max_programs(mut self, n: usize) -> Synthesizer {
+        self.max_programs = n;
+        self
+    }
+
+    /// Excludes rules by name, builder style.
+    pub fn without_rules(mut self, names: &[&str]) -> Synthesizer {
+        self.exclude_rules = names.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Disables differential validation (trust the syntactic guards).
+    pub fn without_validation(mut self) -> Synthesizer {
+        self.validate = false;
+        self
+    }
+
+    fn rules(&self) -> Vec<Box<dyn Rule>> {
+        default_rules()
+            .into_iter()
+            .filter(|r| !self.exclude_rules.iter().any(|x| x == r.name()))
+            .collect()
+    }
+
+    /// Costs one program and tunes its parameters (cheap ladder screening).
+    fn cost_candidate(
+        &self,
+        spec: &Spec,
+        program: &Expr,
+        depth: u32,
+        refine: bool,
+    ) -> Result<Candidate, CostError> {
+        let engine = CostEngine::new(
+            &self.hierarchy,
+            &self.layout,
+            spec.annots.clone(),
+            spec.stats.clone(),
+            spec.int_size,
+        )?;
+        let report: CostReport = engine.cost(program)?;
+        let problem = Problem {
+            objective: report.seconds.clone(),
+            params: report
+                .params
+                .iter()
+                .map(|p| ocas_opt::ParamSpec::new(p.clone(), None))
+                .collect(),
+            constraints: report
+                .constraints
+                .iter()
+                .map(|c| (c.lhs.clone(), c.rhs.clone()))
+                .collect(),
+            fixed: spec.stats.clone(),
+        };
+        let tuned: Optimum = if refine {
+            optimize(&problem)
+                .or_else(|_| ladder_search(&problem))
+                .map_err(|_| CostError::Unsupported("parameter optimization"))?
+        } else {
+            ladder_search(&problem)
+                .map_err(|_| CostError::Unsupported("parameter optimization"))?
+        };
+        Ok(Candidate {
+            program: program.clone(),
+            depth,
+            params: tuned.values,
+            seconds: tuned.objective,
+            formula: report.seconds,
+        })
+    }
+
+    /// Runs the full pipeline on a specification.
+    pub fn synthesize(&self, spec: &Spec) -> Result<Synthesis, SynthError> {
+        let validation = if self.validate {
+            let mut v = ValidationCfg::new(spec.env.clone(), spec.equivalence);
+            if spec.sorted_inputs {
+                v = v.with_sorted_inputs();
+            }
+            Some(v)
+        } else {
+            None
+        };
+        let cfg = SearchConfig {
+            max_depth: self.max_depth,
+            max_programs: self.max_programs,
+            validation,
+        };
+        let result = search(
+            &spec.program,
+            &spec.env,
+            &self.hierarchy,
+            &self.layout.inputs,
+            self.layout.output.clone(),
+            &self.rules(),
+            &cfg,
+        )
+        .map_err(SynthError::Type)?;
+
+        // Screen every program with the ladder optimizer.
+        let mut costed: Vec<Candidate> = Vec::new();
+        let mut uncosted = 0usize;
+        for (program, depth) in &result.programs {
+            match self.cost_candidate(spec, program, *depth, false) {
+                Ok(c) => costed.push(c),
+                Err(_) => uncosted += 1,
+            }
+        }
+        if costed.is_empty() {
+            return Err(SynthError::NoCandidate);
+        }
+        let spec_candidate = costed
+            .iter()
+            .find(|c| c.depth == 0)
+            .cloned()
+            .unwrap_or_else(|| costed[0].clone());
+
+        // Refine the most promising candidates with the full pattern search.
+        costed.sort_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap());
+        let mut best = costed[0].clone();
+        for cand in costed.iter().take(self.refine_top) {
+            if let Ok(refined) = self.cost_candidate(spec, &cand.program, cand.depth, true) {
+                if refined.seconds < best.seconds {
+                    best = refined;
+                }
+            }
+        }
+        Ok(Synthesis {
+            best,
+            spec: spec_candidate,
+            stats: result.stats,
+            costed: costed.len(),
+            uncosted,
+        })
+    }
+}

@@ -1,0 +1,178 @@
+//! Structural matchers for the textbook algorithm shapes (paper §7.2:
+//! "Manual inspection of the generated C programs shows that OCAS produces
+//! exactly the standard textbook (disk-based) BNL and hash join and external
+//! sorting algorithms"). These checks automate that inspection.
+
+use ocal::{BlockSize, DefName, Expr};
+
+fn find(e: &Expr, pred: &impl Fn(&Expr) -> bool) -> bool {
+    if pred(e) {
+        return true;
+    }
+    e.children().iter().any(|c| find(c, pred))
+}
+
+/// Strips the *order-inputs* wrapper, if present.
+fn strip_order(e: &Expr) -> &Expr {
+    if let Expr::App { func, .. } = e {
+        if let Expr::Lam { body, .. } = &**func {
+            return body;
+        }
+    }
+    e
+}
+
+/// The canonical Block Nested Loops Join: a blocked loop over one relation
+/// and a second full scan of the other (either blocked or a seq-annotated
+/// element-wise pass — both stream one buffer-load at a time under the cost
+/// model), followed by element loops over the buffered blocks, with the
+/// join condition innermost.
+pub fn is_block_nested_loops(e: &Expr) -> bool {
+    let body = strip_order(e);
+    // Collect the loop nest.
+    let mut blocks = 0;
+    let mut seq_scans = 0;
+    let mut element_loops = 0;
+    let mut cur = body;
+    loop {
+        match cur {
+            Expr::For {
+                block,
+                body: inner,
+                source,
+                seq,
+                ..
+            } => {
+                if !block.is_one() {
+                    blocks += 1;
+                } else if seq.is_some() {
+                    seq_scans += 1;
+                } else if matches!(&**source, Expr::Var(_)) {
+                    // Element loop over a previously-bound block variable.
+                    element_loops += 1;
+                }
+                cur = inner;
+            }
+            Expr::If { .. } => break,
+            _ => break,
+        }
+    }
+    blocks >= 1
+        && blocks + seq_scans >= 2
+        && element_loops >= 1
+        && matches!(cur, Expr::If { .. })
+}
+
+/// The GRACE hash join: hash-partition both inputs, zip the partitions,
+/// flatMap a join over the bucket pairs.
+pub fn is_grace_hash_join(e: &Expr) -> bool {
+    let has_partition = find(e, &|x| {
+        matches!(x, Expr::DefRef(DefName::HashPartition(_)))
+    });
+    let has_zip = find(e, &|x| matches!(x, Expr::DefRef(DefName::Zip(_))));
+    let has_flatmap = matches!(e, Expr::App { func, .. } if matches!(&**func, Expr::FlatMap { .. }));
+    has_partition && has_zip && has_flatmap
+}
+
+/// The 2ᵏ-way External Merge-Sort:
+/// `treeFold[2ᵏ](⟨[], unfoldR[b](funcPow[k](mrg))⟩)(R)` with `2ᵏ ≥ fan`.
+pub fn is_external_merge_sort(e: &Expr, min_fan: u64) -> Option<u64> {
+    let Expr::App { func, .. } = e else {
+        return None;
+    };
+    let Expr::App { func: tf, arg: cf } = &**func else {
+        return None;
+    };
+    let Expr::DefRef(DefName::TreeFold(BlockSize::Const(m))) = &**tf else {
+        return None;
+    };
+    let Expr::Tuple(items) = &**cf else {
+        return None;
+    };
+    if items.len() != 2 || !matches!(items[0], Expr::Empty) {
+        return None;
+    }
+    let has_pow_merge = find(&items[1], &|x| {
+        matches!(x, Expr::App { func, arg }
+            if matches!(&**func, Expr::DefRef(DefName::FuncPow(_)))
+                && matches!(&**arg, Expr::DefRef(DefName::Mrg)))
+    });
+    if has_pow_merge && *m >= min_fan {
+        Some(*m)
+    } else {
+        None
+    }
+}
+
+/// True if any loop carries a sequentiality annotation.
+pub fn has_seq_annotation(e: &Expr) -> bool {
+    find(e, &|x| matches!(x, Expr::For { seq: Some(_), .. }))
+}
+
+/// True if the program is wrapped by the order-inputs selector.
+pub fn has_order_inputs(e: &Expr) -> bool {
+    find(e, &|x| {
+        matches!(x, Expr::If { cond, .. }
+            if matches!(&**cond, Expr::Prim { op: ocal::PrimOp::Le, .. }))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocal::parse;
+
+    #[test]
+    fn recognizes_bnl() {
+        let bnl = parse(
+            "for (xB [k0] <- R) for (yB [k1] <- S) for (x <- xB) for (y <- yB) \
+             if x.1 == y.1 then [<x, y>] else []",
+        )
+        .unwrap();
+        assert!(is_block_nested_loops(&bnl));
+        let naive =
+            parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
+        assert!(!is_block_nested_loops(&naive));
+    }
+
+    #[test]
+    fn recognizes_wrapped_bnl() {
+        let wrapped = parse(
+            "(\\q. for (xB [k0] <- q.1) for (yB [k1] <- q.2) for (x <- xB) for (y <- yB) \
+             if x.1 == y.1 then [<x, y>] else [])\
+             (if length(R) <= length(S) then <R, S> else <S, R>)",
+        )
+        .unwrap();
+        assert!(is_block_nested_loops(&wrapped));
+        assert!(has_order_inputs(&wrapped));
+    }
+
+    #[test]
+    fn recognizes_grace() {
+        let grace = parse(
+            "flatMap(\\q. for (x <- q.1) for (y <- q.2) if x.1 == y.1 then [<x, y>] else [])\
+             (unfoldR(zip[2])(<hashPartition[s0](R), hashPartition[s0](S)>))",
+        )
+        .unwrap();
+        assert!(is_grace_hash_join(&grace));
+        let bnl = parse("for (x <- R) for (y <- S) [<x, y>]").unwrap();
+        assert!(!is_grace_hash_join(&bnl));
+    }
+
+    #[test]
+    fn recognizes_merge_sort() {
+        let ms = parse("treeFold[32](<[], unfoldR[k0, k1](funcPow[5](mrg))>)(R)").unwrap();
+        assert_eq!(is_external_merge_sort(&ms, 4), Some(32));
+        assert_eq!(is_external_merge_sort(&ms, 64), None);
+        let fold = parse("foldL([], unfoldR(mrg))(R)").unwrap();
+        assert_eq!(is_external_merge_sort(&fold, 2), None);
+    }
+
+    #[test]
+    fn recognizes_seq_annotations() {
+        let annotated = parse("for[HDD >> RAM] (y <- S) [y]").unwrap();
+        assert!(has_seq_annotation(&annotated));
+        let plain = parse("for (y <- S) [y]").unwrap();
+        assert!(!has_seq_annotation(&plain));
+    }
+}

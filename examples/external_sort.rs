@@ -1,0 +1,33 @@
+//! From insertion sort to 2ᵏ-way External Merge-Sort (paper §7.2).
+//!
+//! The specification is `foldL([], unfoldR(mrg))` over a list of singleton
+//! lists — an O(n²) insertion sort when run naively against a disk. The
+//! rules *fldL-to-trfld*, *funcPow-intro*, *inc-branching* (repeatedly) and
+//! the blocked-unfoldR variant of *apply-block* derive the external
+//! merge-sort family; the cost model plus the non-linear parameter
+//! optimizer then pick the merge fan-in 2ᵏ and the buffer sizes.
+//!
+//! Run with: `cargo run --release --example external_sort`
+
+use ocas::{experiments, verify};
+
+fn main() {
+    let exp = experiments::external_sorting();
+    println!("specification:\n    {}\n", ocal::pretty(&exp.spec.program));
+
+    let synth = exp.synthesize().expect("synthesis");
+    println!("explored {} programs", synth.stats.explored);
+    println!("naive (insertion sort) estimate: {:.3e} s", synth.spec.seconds);
+    println!("synthesized estimate:            {:.0} s", synth.best.seconds);
+    println!("\nsynthesized algorithm:\n    {}", ocal::pretty(&synth.best.program));
+
+    let fan = verify::is_external_merge_sort(&synth.best.program, 2)
+        .expect("winner should be an external merge sort");
+    println!("\n=> a {fan}-way External Merge-Sort with buffers:");
+    for (k, v) in &synth.best.params {
+        println!("    {k} = {v}");
+    }
+
+    let act = exp.execute(&synth).expect("execution");
+    println!("\nsimulated measured time: {act:.0} s (estimate {:.0} s)", synth.best.seconds);
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the OCAS reproduction: re-exports every workspace
+//! crate and hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`). See README.md for the tour.
+
+#![forbid(unsafe_code)]
+
+pub use ocal;
+pub use ocas;
+pub use ocas_codegen;
+pub use ocas_cost;
+pub use ocas_engine;
+pub use ocas_hierarchy;
+pub use ocas_opt;
+pub use ocas_rewrite;
+pub use ocas_storage;
+pub use ocas_symbolic;

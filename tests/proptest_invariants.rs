@@ -1,0 +1,163 @@
+//! Property-based tests on the core invariants, spanning crates:
+//!
+//! * blocking never changes program semantics (apply-block soundness);
+//! * the symbolic simplifier is value-preserving and idempotent;
+//! * the engine's merge operators agree with set/multiset models;
+//! * result-size estimation is a sound upper bound on actual sizes.
+
+use ocal::{parse, Evaluator, Value};
+use ocas_symbolic::{eval as sym_eval, simplify, Env, Expr as Sym};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn pair_value(items: &[(i64, i64)]) -> Value {
+    Value::pair_list(items)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// for (x [k] <- R) ... must equal the unblocked loop for every k.
+    #[test]
+    fn blocking_preserves_join_semantics(
+        r in proptest::collection::vec((0i64..20, 0i64..100), 0..40),
+        s in proptest::collection::vec((0i64..20, 0i64..100), 0..40),
+        k1 in 1u64..16,
+        k2 in 1u64..16,
+    ) {
+        let naive = parse(
+            "for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []",
+        ).unwrap();
+        let blocked = parse(
+            "for (xB [k1] <- R) for (yB [k2] <- S) for (x <- xB) for (y <- yB) \
+             if x.1 == y.1 then [<x, y>] else []",
+        ).unwrap();
+        let inputs: BTreeMap<String, Value> = [
+            ("R".to_string(), pair_value(&r)),
+            ("S".to_string(), pair_value(&s)),
+        ].into_iter().collect();
+        let a = Evaluator::new().run(&naive, &inputs).unwrap();
+        let b = Evaluator::new()
+            .with_param("k1", k1)
+            .with_param("k2", k2)
+            .run(&blocked, &inputs)
+            .unwrap();
+        // Same multiset (blocking reorders pairs).
+        let canon = |v: &Value| {
+            let mut xs: Vec<String> =
+                v.as_list().unwrap().iter().map(|x| x.to_string()).collect();
+            xs.sort();
+            xs
+        };
+        prop_assert_eq!(canon(&a), canon(&b));
+    }
+
+    /// simplify() preserves the numeric value of expressions and is
+    /// idempotent.
+    #[test]
+    fn simplify_preserves_value(
+        ax in 1i64..50, bx in 1i64..50, cx in 1i64..50,
+        x in 1.0f64..1000.0, y in 1.0f64..1000.0,
+    ) {
+        let e = (Sym::var("x") * Sym::int(ax as i128) + Sym::var("y") / Sym::int(bx as i128))
+            * Sym::int(cx as i128)
+            + Sym::var("x") * Sym::var("y") / (Sym::var("x") + Sym::int(1))
+            + Sym::sum("j", Sym::int(0), Sym::int(ax as i128), Sym::var("j") * Sym::var("y"));
+        let s = simplify(&e);
+        let env = Env::new().with("x", x).with("y", y);
+        let v1 = sym_eval(&e, &env).unwrap();
+        let v2 = sym_eval(&s, &env).unwrap();
+        prop_assert!((v1 - v2).abs() <= 1e-6 * v1.abs().max(1.0),
+            "simplify changed value: {} vs {}", v1, v2);
+        prop_assert_eq!(simplify(&s), s.clone(), "not idempotent");
+    }
+
+    /// Engine merge ops match set/multiset models.
+    #[test]
+    fn merge_ops_match_models(
+        mut a in proptest::collection::vec(0i64..30, 0..50),
+        mut b in proptest::collection::vec(0i64..30, 0..50),
+    ) {
+        use ocas_engine::exec::merge_rows;
+        use ocas_engine::MergeKind;
+        a.sort();
+        b.sort();
+        let ar: Vec<Vec<i64>> = a.iter().map(|v| vec![*v]).collect();
+        let br: Vec<Vec<i64>> = b.iter().map(|v| vec![*v]).collect();
+
+        // Multiset union = sorted concatenation.
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        concat.sort();
+        let got: Vec<i64> = merge_rows(&ar, &br, MergeKind::MultisetUnionSorted)
+            .into_iter().map(|r| r[0]).collect();
+        prop_assert_eq!(got, concat);
+
+        // Set union over deduplicated inputs = BTreeSet union.
+        let ad: Vec<Vec<i64>> = {
+            let mut v = a.clone(); v.dedup(); v.into_iter().map(|x| vec![x]).collect()
+        };
+        let bd: Vec<Vec<i64>> = {
+            let mut v = b.clone(); v.dedup(); v.into_iter().map(|x| vec![x]).collect()
+        };
+        let want: Vec<i64> = a.iter().chain(b.iter()).copied()
+            .collect::<std::collections::BTreeSet<i64>>()
+            .into_iter().collect();
+        let got: Vec<i64> = merge_rows(&ad, &bd, MergeKind::SetUnion)
+            .into_iter().map(|r| r[0]).collect();
+        prop_assert_eq!(got, want);
+
+        // Multiset difference respects multiplicities.
+        let mut counts: BTreeMap<i64, i64> = BTreeMap::new();
+        for v in &a { *counts.entry(*v).or_default() += 1; }
+        for v in &b { *counts.entry(*v).or_default() -= 1; }
+        let want: Vec<i64> = counts.iter()
+            .flat_map(|(v, c)| std::iter::repeat(*v).take((*c).max(0) as usize))
+            .collect();
+        let got: Vec<i64> = merge_rows(&ar, &br, MergeKind::MultisetDiffSorted)
+            .into_iter().map(|r| r[0]).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Figure 5's worst-case size analysis upper-bounds the true output
+    /// cardinality of the join for arbitrary inputs.
+    #[test]
+    fn size_estimate_is_upper_bound(
+        r in proptest::collection::vec((0i64..10, 0i64..100), 0..30),
+        s in proptest::collection::vec((0i64..10, 0i64..100), 0..30),
+    ) {
+        use ocas_cost::{result_size, Annot, SizeCtx};
+        let program = parse(
+            "for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []",
+        ).unwrap();
+        let mut gamma = BTreeMap::new();
+        gamma.insert("R".to_string(), Annot::relation(Sym::int(r.len() as i128), 2, 8));
+        gamma.insert("S".to_string(), Annot::relation(Sym::int(s.len() as i128), 2, 8));
+        let annot = result_size(&program, &SizeCtx::new(gamma, 8)).unwrap();
+        let bound = sym_eval(&annot.card().unwrap(), &Env::new()).unwrap();
+
+        let inputs: BTreeMap<String, Value> = [
+            ("R".to_string(), pair_value(&r)),
+            ("S".to_string(), pair_value(&s)),
+        ].into_iter().collect();
+        let actual = Evaluator::new().run(&program, &inputs).unwrap()
+            .as_list().unwrap().len() as f64;
+        prop_assert!(actual <= bound + 0.5,
+            "estimate {} below actual {}", bound, actual);
+    }
+
+    /// Pretty-print → parse round trip on the join family.
+    #[test]
+    fn join_programs_round_trip(
+        k1 in 1u64..100, k2 in 1u64..100, key in 0i64..5,
+    ) {
+        let src = format!(
+            "for (xB [{k1}] <- R) for (yB [{k2}] <- S) for (x <- xB) for (y <- yB) \
+             if x.1 == y.1 && x.2 == {key} then [<x, y>] else []"
+        );
+        let e = parse(&src).unwrap();
+        let printed = ocal::pretty(&e);
+        let e2 = parse(&printed).unwrap();
+        prop_assert_eq!(e.alpha_canonical(), e2.alpha_canonical());
+    }
+}
