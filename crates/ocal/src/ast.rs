@@ -597,7 +597,11 @@ impl Expr {
 
     /// Number of AST nodes (used to bound search).
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     // ---- Binding-aware operations -------------------------------------------
@@ -825,17 +829,17 @@ mod tests {
 
     fn naive_join() -> Expr {
         // for (x <- R) for (y <- S) if x.1 == y.1 then [<x,y>] else []
-        let cond = Expr::binop(
-            PrimOp::Eq,
-            Expr::var("x").proj(1),
-            Expr::var("y").proj(1),
-        );
+        let cond = Expr::binop(PrimOp::Eq, Expr::var("x").proj(1), Expr::var("y").proj(1));
         let body = Expr::if_(
             cond,
             Expr::tuple(vec![Expr::var("x"), Expr::var("y")]).singleton(),
             Expr::Empty,
         );
-        Expr::for_each("x", Expr::var("R"), Expr::for_each("y", Expr::var("S"), body))
+        Expr::for_each(
+            "x",
+            Expr::var("R"),
+            Expr::for_each("y", Expr::var("S"), body),
+        )
     }
 
     #[test]
@@ -856,7 +860,10 @@ mod tests {
         if let Expr::Lam { param, body } = &result {
             assert_ne!(param, "y", "binder must be renamed");
             let fv = body.free_vars();
-            assert!(fv.contains("y"), "substituted var must stay free: {result:?}");
+            assert!(
+                fv.contains("y"),
+                "substituted var must stay free: {result:?}"
+            );
         } else {
             panic!("expected lambda");
         }

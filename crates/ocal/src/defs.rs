@@ -106,11 +106,7 @@ fn avg_expansion() -> Expr {
     Expr::lam(
         "l",
         ratio.app(
-            Expr::fold_l(
-                Expr::tuple(vec![Expr::Int(0), Expr::Int(0)]),
-                step,
-            )
-            .app(Expr::var("l")),
+            Expr::fold_l(Expr::tuple(vec![Expr::Int(0), Expr::Int(0)]), step).app(Expr::var("l")),
         ),
     )
 }
@@ -244,9 +240,6 @@ mod tests {
             Value::int_list(&[1, 4, 6]),
             Value::int_list(&[2, 3, 5, 7]),
         ]);
-        assert_eq!(
-            apply_fn(&merge, v),
-            Value::int_list(&[1, 2, 3, 4, 5, 6, 7])
-        );
+        assert_eq!(apply_fn(&merge, v), Value::int_list(&[1, 2, 3, 4, 5, 6, 7]));
     }
 }

@@ -503,9 +503,11 @@ impl Evaluator {
                 }
                 if any_empty {
                     // Terminate gracefully: emit nothing and drain all lists.
-                    let empties: Vec<Value> =
-                        lists.iter().map(|_| Value::list(vec![])).collect();
-                    return Ok(Value::tuple(vec![Value::list(vec![]), Value::tuple(empties)]));
+                    let empties: Vec<Value> = lists.iter().map(|_| Value::list(vec![])).collect();
+                    return Ok(Value::tuple(vec![
+                        Value::list(vec![]),
+                        Value::tuple(empties),
+                    ]));
                 }
                 for l in lists.iter() {
                     if let Value::List(v) = l {
@@ -643,9 +645,8 @@ fn merge_step(lists: &[Vec<Value>]) -> Result<Value, EvalError> {
             }
         }
     }
-    let state = |ls: Vec<Vec<Value>>| -> Value {
-        Value::tuple(ls.into_iter().map(Value::list).collect())
-    };
+    let state =
+        |ls: Vec<Vec<Value>>| -> Value { Value::tuple(ls.into_iter().map(Value::list).collect()) };
     match best {
         None => Ok(Value::tuple(vec![
             Value::list(vec![]),
@@ -763,11 +764,7 @@ mod tests {
                 BlockSize::Param("k2".into()),
                 E::var("S"),
                 BlockSize::one(),
-                E::for_each(
-                    "x",
-                    E::var("xb"),
-                    E::for_each("y", E::var("yb"), body),
-                ),
+                E::for_each("x", E::var("xb"), E::for_each("y", E::var("yb"), body)),
             ),
         );
         let r = Value::pair_list(&[(1, 1), (2, 2), (3, 3), (4, 4), (5, 5)]);
@@ -784,8 +781,12 @@ mod tests {
             // the order coincides because blocking preserves iteration order
             // of the (x, y) pairs only when inner loops run per block pair —
             // compare as multisets to be safe.
-            let mut a: Vec<String> =
-                naive.as_list().unwrap().iter().map(|v| v.to_string()).collect();
+            let mut a: Vec<String> = naive
+                .as_list()
+                .unwrap()
+                .iter()
+                .map(|v| v.to_string())
+                .collect();
             let mut b: Vec<String> = blocked_out
                 .as_list()
                 .unwrap()
@@ -814,7 +815,10 @@ mod tests {
     #[test]
     fn insertion_sort_via_fold_merge() {
         // foldL([], unfoldR(mrg)) over a list of singleton lists.
-        let sort = E::fold_l(E::Empty, E::def(DefName::unfoldr()).app(E::def(DefName::Mrg)));
+        let sort = E::fold_l(
+            E::Empty,
+            E::def(DefName::unfoldr()).app(E::def(DefName::Mrg)),
+        );
         let singletons = Value::list(vec![
             Value::int_list(&[5]),
             Value::int_list(&[1]),
@@ -893,13 +897,12 @@ mod tests {
         let e = E::def(DefName::HashPartition(BlockSize::Const(4))).app(E::var("R"));
         let items: Vec<(i64, i64)> = (0..50).map(|i| (i % 7, i)).collect();
         let r = Value::pair_list(&items);
-        let out = Evaluator::new().run(&e, &inputs(&[("R", r.clone())])).unwrap();
+        let out = Evaluator::new()
+            .run(&e, &inputs(&[("R", r.clone())]))
+            .unwrap();
         let buckets = out.as_list().unwrap();
         assert_eq!(buckets.len(), 4);
-        let total: usize = buckets
-            .iter()
-            .map(|b| b.as_list().unwrap().len())
-            .sum();
+        let total: usize = buckets.iter().map(|b| b.as_list().unwrap().len()).sum();
         assert_eq!(total, 50);
         // Same key always lands in the same bucket.
         for b in buckets {
@@ -932,10 +935,7 @@ mod tests {
         assert_eq!(ev.run(&len, &env).unwrap(), Value::Int(3));
         assert_eq!(ev.run(&avg, &env).unwrap(), Value::Int(6));
         let empty = inputs(&[("L", Value::int_list(&[]))]);
-        assert_eq!(
-            ev.run(&head, &empty),
-            Err(EvalError::EmptyList("head"))
-        );
+        assert_eq!(ev.run(&head, &empty), Err(EvalError::EmptyList("head")));
     }
 
     #[test]

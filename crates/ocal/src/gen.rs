@@ -68,17 +68,12 @@ pub fn random_value(ty: &Type, rng: &mut Rng, cfg: &GenConfig) -> Value {
             let letters = ["a", "b", "c", "d"];
             Value::Str(Rc::from(letters[rng.below(4) as usize]))
         }
-        Type::Tuple(items) => Value::tuple(
-            items
-                .iter()
-                .map(|t| random_value(t, rng, cfg))
-                .collect(),
-        ),
+        Type::Tuple(items) => {
+            Value::tuple(items.iter().map(|t| random_value(t, rng, cfg)).collect())
+        }
         Type::List(elem) => {
             let len = rng.below(cfg.max_len as u64 + 1) as usize;
-            let mut items: Vec<Value> = (0..len)
-                .map(|_| random_value(elem, rng, cfg))
-                .collect();
+            let mut items: Vec<Value> = (0..len).map(|_| random_value(elem, rng, cfg)).collect();
             if cfg.sorted_lists {
                 items.sort_by(|a, b| {
                     crate::value::value_cmp(a, b).unwrap_or(std::cmp::Ordering::Equal)
@@ -121,11 +116,9 @@ mod tests {
             let v = random_value(&ty, &mut rng, &cfg);
             let items = v.as_list().unwrap();
             for w in items.windows(2) {
-                assert!(
-                    crate::value::value_cmp(&w[0], &w[1])
-                        .map(|o| o.is_le())
-                        .unwrap_or(false)
-                );
+                assert!(crate::value::value_cmp(&w[0], &w[1])
+                    .map(|o| o.is_le())
+                    .unwrap_or(false));
             }
         }
     }

@@ -57,9 +57,9 @@ enum Tok {
     Comma,
     Dot,
     Lambda,
-    Arrow,     // <-
-    SeqArrow,  // >>
-    PlusPlus,  // ++
+    Arrow,    // <-
+    SeqArrow, // >>
+    PlusPlus, // ++
     EqEq,
     NotEq,
     Le,
@@ -702,9 +702,9 @@ impl Parser {
             Tok::Ident(name) => {
                 self.bump();
                 match name.as_str() {
-                    "then" | "else" => Err(self.error(format!(
-                        "keyword `{name}` cannot start an expression"
-                    ))),
+                    "then" | "else" => {
+                        Err(self.error(format!("keyword `{name}` cannot start an expression")))
+                    }
                     "true" => Ok(Expr::Bool(true)),
                     "false" => Ok(Expr::Bool(false)),
                     "if" | "for" => {
@@ -745,9 +745,9 @@ impl Parser {
                                 Tok::Num(n) if n > 0 => BlockSize::Const(n as u64),
                                 Tok::Ident(p) => BlockSize::Param(p),
                                 other => {
-                                    return Err(self.error(format!(
-                                        "expected block size, found {other:?}"
-                                    )))
+                                    return Err(
+                                        self.error(format!("expected block size, found {other:?}"))
+                                    )
                                 }
                             };
                             self.expect(Tok::Comma, "`,` between unfoldR block sizes")?;
@@ -755,9 +755,9 @@ impl Parser {
                                 Tok::Num(n) if n > 0 => BlockSize::Const(n as u64),
                                 Tok::Ident(p) => BlockSize::Param(p),
                                 other => {
-                                    return Err(self.error(format!(
-                                        "expected block size, found {other:?}"
-                                    )))
+                                    return Err(
+                                        self.error(format!("expected block size, found {other:?}"))
+                                    )
                                 }
                             };
                             self.expect(Tok::RBracket, "`]` closing unfoldR block sizes")?;
@@ -779,9 +779,7 @@ impl Parser {
                         let n = self.def_param("zip")?;
                         match n {
                             BlockSize::Const(n) => Ok(Expr::def(DefName::Zip(n as u32))),
-                            BlockSize::Param(_) => {
-                                Err(self.error("zip arity must be a constant"))
-                            }
+                            BlockSize::Param(_) => Err(self.error("zip arity must be a constant")),
                         }
                     }
                     "funcPow" => {
@@ -857,9 +855,7 @@ mod tests {
 
     #[test]
     fn parses_order_inputs_wrapper() {
-        round_trip(
-            "(\\p. if length(p.1) <= length(p.2) then <p.1, p.2> else <p.2, p.1>)(<R, S>)",
-        );
+        round_trip("(\\p. if length(p.1) <= length(p.2) then <p.1, p.2> else <p.2, p.1>)(<R, S>)");
     }
 
     #[test]

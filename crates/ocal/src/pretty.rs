@@ -49,11 +49,7 @@ fn expr_prec(e: &Expr) -> u8 {
     }
 }
 
-fn write_paren(
-    f: &mut fmt::Formatter<'_>,
-    e: &Expr,
-    min_prec: u8,
-) -> fmt::Result {
+fn write_paren(f: &mut fmt::Formatter<'_>, e: &Expr, min_prec: u8) -> fmt::Result {
     if expr_prec(e) < min_prec {
         write!(f, "(")?;
         write_expr(f, e, 0)?;
@@ -212,8 +208,8 @@ mod tests {
 
     #[test]
     fn treefold_prints_with_arity() {
-        let step = E::def(DefName::unfoldr())
-            .app(E::def(DefName::FuncPow(2)).app(E::def(DefName::Mrg)));
+        let step =
+            E::def(DefName::unfoldr()).app(E::def(DefName::FuncPow(2)).app(E::def(DefName::Mrg)));
         let tf = E::def(DefName::TreeFold(BlockSize::Const(4)))
             .app(E::tuple(vec![E::Empty, step]))
             .app(E::var("R"));

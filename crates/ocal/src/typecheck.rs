@@ -59,7 +59,10 @@ impl fmt::Display for TypeError {
                 expected,
                 found,
                 context,
-            } => write!(f, "type mismatch in {context}: expected `{expected}`, found `{found}`"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected `{expected}`, found `{found}`"
+            ),
             TypeError::BadProjection { ty, index } => {
                 write!(f, "cannot project component {index} out of `{ty}`")
             }
@@ -359,31 +362,23 @@ fn def_scheme(infer: &mut Infer, def: &DefName) -> Result<Type, TypeError> {
             let a = infer.fresh();
             let l = Type::list(a);
             let pair = Type::tuple(vec![l.clone(), l.clone()]);
-            Ok(Type::fun(
-                pair.clone(),
-                Type::tuple(vec![l, pair]),
-            ))
+            Ok(Type::fun(pair.clone(), Type::tuple(vec![l, pair])))
         }
         DefName::Zip(n) => {
             let elems: Vec<Type> = (0..*n).map(|_| infer.fresh()).collect();
             let lists: Vec<Type> = elems.iter().cloned().map(Type::list).collect();
             let in_tuple = Type::Tuple(lists.clone());
-            let out = Type::tuple(vec![
-                Type::list(Type::Tuple(elems)),
-                Type::Tuple(lists),
-            ]);
+            let out = Type::tuple(vec![Type::list(Type::Tuple(elems)), Type::Tuple(lists)]);
             Ok(Type::fun(in_tuple, out))
         }
         DefName::HashPartition(_) => {
             let a = infer.fresh();
-            Ok(Type::fun(
-                Type::list(a.clone()),
-                Type::list(Type::list(a)),
-            ))
+            Ok(Type::fun(Type::list(a.clone()), Type::list(Type::list(a))))
         }
-        DefName::TreeFold(_) | DefName::UnfoldR { .. } | DefName::Partition | DefName::FuncPow(_) => {
-            Err(TypeError::BareDefinition(def.name()))
-        }
+        DefName::TreeFold(_)
+        | DefName::UnfoldR { .. }
+        | DefName::Partition
+        | DefName::FuncPow(_) => Err(TypeError::BareDefinition(def.name())),
     }
 }
 
@@ -416,10 +411,7 @@ fn infer_app(
             let step_out =
                 infer_fun_applied_to(infer, scope, step, seed_ty.clone(), "unfoldR step")?;
             let tr = infer.fresh();
-            let expected = Type::tuple(vec![
-                Type::list(tr.clone()),
-                Type::Tuple(lists.clone()),
-            ]);
+            let expected = Type::tuple(vec![Type::list(tr.clone()), Type::Tuple(lists.clone())]);
             infer.unify(&step_out, &expected, "unfoldR step result")?;
             return Ok(Type::list(tr));
         }
@@ -437,7 +429,10 @@ fn infer_app(
                             if let Type::List(tr) = &outs[0] {
                                 infer.unify(&outs[1], input, "unfoldR state")?;
                                 let _ = ins;
-                                return Ok(Type::fun((**input).clone(), Type::list((**tr).clone())));
+                                return Ok(Type::fun(
+                                    (**input).clone(),
+                                    Type::list((**tr).clone()),
+                                ));
                             }
                         }
                     }
@@ -459,10 +454,7 @@ fn infer_app(
                             } else {
                                 Type::Tuple(items[1..].to_vec())
                             };
-                            return Ok(Type::list(Type::tuple(vec![
-                                key,
-                                Type::list(rest),
-                            ])));
+                            return Ok(Type::list(Type::tuple(vec![key, Type::list(rest)])));
                         }
                     }
                 }
@@ -615,17 +607,16 @@ mod tests {
     #[test]
     fn fold_length() {
         // foldL(0, \a. a.1 + 1)(R)
-        let step = E::lam(
-            "a",
-            E::binop(PrimOp::Add, E::var("a").proj(1), E::Int(1)),
-        );
+        let step = E::lam("a", E::binop(PrimOp::Add, E::var("a").proj(1), E::Int(1)));
         let e = E::fold_l(E::Int(0), step).app(E::var("R"));
         assert_eq!(typecheck(&e, &join_env()).unwrap(), Type::Int);
     }
 
     #[test]
     fn head_is_polymorphic() {
-        let env: TypeEnv = [("L".to_string(), Type::list(Type::Str))].into_iter().collect();
+        let env: TypeEnv = [("L".to_string(), Type::list(Type::Str))]
+            .into_iter()
+            .collect();
         let e = E::def(DefName::Head).app(E::var("L"));
         assert_eq!(typecheck(&e, &env).unwrap(), Type::Str);
     }
@@ -650,12 +641,16 @@ mod tests {
         let env: TypeEnv = [("R".to_string(), Type::list(Type::list(Type::Int)))]
             .into_iter()
             .collect();
-        let sort = E::fold_l(E::Empty, E::def(DefName::unfoldr()).app(E::def(DefName::Mrg)))
-            .app(E::var("R"));
+        let sort = E::fold_l(
+            E::Empty,
+            E::def(DefName::unfoldr()).app(E::def(DefName::Mrg)),
+        )
+        .app(E::var("R"));
         assert_eq!(typecheck(&sort, &env).unwrap(), Type::list(Type::Int));
 
         // treeFold[4]([], unfoldR(funcPow[2](mrg))) : [[Int]] -> [Int]
-        let step = E::def(DefName::unfoldr()).app(E::def(DefName::FuncPow(2)).app(E::def(DefName::Mrg)));
+        let step =
+            E::def(DefName::unfoldr()).app(E::def(DefName::FuncPow(2)).app(E::def(DefName::Mrg)));
         let tf = E::def(DefName::TreeFold(BlockSize::Const(4)))
             .app(E::tuple(vec![E::Empty, step]))
             .app(E::var("R"));
@@ -693,10 +688,7 @@ mod tests {
     fn hash_partition_buckets() {
         let env: TypeEnv = [("R".to_string(), pair_rel())].into_iter().collect();
         let e = E::def(DefName::HashPartition(BlockSize::Param("s".into()))).app(E::var("R"));
-        assert_eq!(
-            typecheck(&e, &env).unwrap(),
-            Type::list(pair_rel())
-        );
+        assert_eq!(typecheck(&e, &env).unwrap(), Type::list(pair_rel()));
     }
 
     #[test]
@@ -742,10 +734,7 @@ mod tests {
             E::tuple(vec![E::var("p").proj(2), E::var("p").proj(1)]),
         );
         let wrapped = E::lam("p", f.app(sel));
-        let t = infer_type(
-            &wrapped,
-            &TypeEnv::new(),
-        );
+        let t = infer_type(&wrapped, &TypeEnv::new());
         // Applied to the pair of relations it must produce the join type.
         let applied = wrapped.app(E::tuple(vec![E::var("R"), E::var("S")]));
         let ty = typecheck(&applied, &join_env()).unwrap();

@@ -155,9 +155,7 @@ impl Value {
             Value::Int(_) => 8,
             Value::Bool(_) => 1,
             Value::Str(s) => s.len() as u64,
-            Value::Tuple(items) | Value::List(items) => {
-                items.iter().map(Value::byte_size).sum()
-            }
+            Value::Tuple(items) | Value::List(items) => items.iter().map(Value::byte_size).sum(),
             _ => 0,
         }
     }
@@ -285,7 +283,9 @@ mod tests {
 
     #[test]
     fn env_shadowing() {
-        let env = Env::empty().bind("x", Value::Int(1)).bind("x", Value::Int(2));
+        let env = Env::empty()
+            .bind("x", Value::Int(1))
+            .bind("x", Value::Int(2));
         assert_eq!(env.lookup("x"), Some(&Value::Int(2)));
         assert_eq!(env.lookup("y"), None);
     }

@@ -9,7 +9,10 @@ fn bench_synthesis(c: &mut Criterion) {
     g.sample_size(10);
 
     // Input-size independence (§7.4): same search, different cardinalities.
-    for (label, x, y) in [("small", 1u64 << 12, 1u64 << 8), ("large", 1 << 26, 1 << 21)] {
+    for (label, x, y) in [
+        ("small", 1u64 << 12, 1u64 << 8),
+        ("large", 1 << 26, 1 << 21),
+    ] {
         g.bench_with_input(
             BenchmarkId::new("bnl-join", label),
             &(x, y),
@@ -61,8 +64,7 @@ fn bench_cost_estimation(c: &mut Criterion) {
 
     c.bench_function("cost/blocked-bnl", |b| {
         b.iter(|| {
-            let engine =
-                CostEngine::new(&h, &layout, annots.clone(), stats.clone(), 8).unwrap();
+            let engine = CostEngine::new(&h, &layout, annots.clone(), stats.clone(), 8).unwrap();
             engine.cost(&program).unwrap()
         })
     });

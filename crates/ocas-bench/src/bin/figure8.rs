@@ -14,7 +14,10 @@ fn main() {
                 if p.panel != panel {
                     panel = p.panel;
                     println!("\n== {panel} ==");
-                    println!("{:<18} {:>12} {:>12} {:>8}", "config", "estimated", "measured", "est/act");
+                    println!(
+                        "{:<18} {:>12} {:>12} {:>8}",
+                        "config", "estimated", "measured", "est/act"
+                    );
                 }
                 println!(
                     "{:<18} {:>12} {:>12} {:>8.2}",

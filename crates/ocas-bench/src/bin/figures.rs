@@ -17,7 +17,10 @@ fn fig4() {
     h.add_child(
         "RAM",
         NodeProps::new("HDD", 1 << 40, DeviceKind::Hdd),
-        EdgeCosts::symmetric(CostPair::new(Rat::millis(15), Rat::new(1, 30 * 1024 * 1024))),
+        EdgeCosts::symmetric(CostPair::new(
+            Rat::millis(15),
+            Rat::new(1, 30 * 1024 * 1024),
+        )),
     )
     .unwrap();
     let program = parse(

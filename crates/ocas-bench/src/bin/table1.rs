@@ -23,7 +23,10 @@ fn main() {
         }
     }
     // The cache-miss companion measurement of the "BNL with cache" row.
-    if filter.as_deref().map_or(true, |f| "cache".contains(f) || f.contains("cache")) {
+    if filter
+        .as_deref()
+        .map_or(true, |f| "cache".contains(f) || f.contains("cache"))
+    {
         match ocas::experiments::cache_miss_comparison() {
             Ok((untiled, tiled)) => {
                 let reduction = 100.0 * (1.0 - tiled as f64 / untiled as f64);

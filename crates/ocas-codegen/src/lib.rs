@@ -192,10 +192,7 @@ impl EmitCx<'_> {
                             "order-inputs needs two inputs".into(),
                         ));
                     }
-                    let _ = writeln!(
-                        out,
-                        "{p}/* order-inputs: smaller relation first */"
-                    );
+                    let _ = writeln!(out, "{p}/* order-inputs: smaller relation first */");
                     let _ = writeln!(
                         out,
                         "{p}if ({a}.len > {b}.len) {{ rel_t t = {a}; {a} = {b}; {b} = t; }}",
@@ -205,10 +202,13 @@ impl EmitCx<'_> {
                     // Substitute the projections back to the (now ordered)
                     // inputs and continue with the body.
                     let body = body
-                        .subst(param, &Expr::tuple(vec![
-                            Expr::var(names[0].clone()),
-                            Expr::var(names[1].clone()),
-                        ]))
+                        .subst(
+                            param,
+                            &Expr::tuple(vec![
+                                Expr::var(names[0].clone()),
+                                Expr::var(names[1].clone()),
+                            ]),
+                        )
                         .clone();
                     let simplified = simplify_projections(&body);
                     out.push_str(&self.emit_top(&simplified)?);
@@ -229,9 +229,8 @@ impl EmitCx<'_> {
         let Expr::App { func, arg } = e else {
             return Err(CodegenError::Unsupported("aggregate shape".into()));
         };
-        let src = source_relation(arg).ok_or_else(|| {
-            CodegenError::Unsupported("aggregate over a non-input source".into())
-        })?;
+        let src = source_relation(arg)
+            .ok_or_else(|| CodegenError::Unsupported("aggregate over a non-input source".into()))?;
         match &**func {
             Expr::DefRef(DefName::Avg) => {
                 let p = self.pad();
@@ -505,10 +504,7 @@ fn source_relation(e: &Expr) -> Option<String> {
     }
 }
 
-fn source_relation_in(
-    source: &Expr,
-    vars: &BTreeMap<String, VarBinding>,
-) -> Option<SourceRel> {
+fn source_relation_in(source: &Expr, vars: &BTreeMap<String, VarBinding>) -> Option<SourceRel> {
     match source {
         Expr::Var(v) => match vars.get(v) {
             // Iterating a bound block: loop from the block base to extent.
@@ -531,7 +527,7 @@ fn source_relation_in(
 
 /// Rewrites `⟨a, b⟩.1` to `a` (cleanup after the order-inputs substitution).
 fn simplify_projections(e: &Expr) -> Expr {
-    let rec = e.map_children(|c| simplify_projections(c));
+    let rec = e.map_children(simplify_projections);
     if let Expr::Proj { tuple, index } = &rec {
         if let Expr::Tuple(items) = &**tuple {
             if let Some(item) = items.get((*index as usize).saturating_sub(1)) {
@@ -714,19 +710,13 @@ mod tests {
         let dir = std::env::temp_dir().join("ocas_codegen_test");
         std::fs::create_dir_all(&dir).unwrap();
 
-        let p =
-            parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
+        let p = parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
         let c = gen().emit_program(&p, &join_inputs()).unwrap();
         let c_path = dir.join("join.c");
         std::fs::write(&c_path, &c).unwrap();
         let bin = dir.join("join_bin");
         let ok = std::process::Command::new(cc)
-            .args([
-                "-O1",
-                "-o",
-                bin.to_str().unwrap(),
-                c_path.to_str().unwrap(),
-            ])
+            .args(["-O1", "-o", bin.to_str().unwrap(), c_path.to_str().unwrap()])
             .status()
             .map(|s| s.success())
             .unwrap_or(false);

@@ -125,13 +125,10 @@ impl Annot {
                     Annot::Atom(simplify(&a.clone().max(b.clone())))
                 }
             }
-            (Annot::Tuple(xs), Annot::Tuple(ys)) if xs.len() == ys.len() => Annot::Tuple(
-                xs.iter().zip(ys).map(|(x, y)| x.join(y)).collect(),
-            ),
-            (
-                Annot::List { elem: e1, card: c1 },
-                Annot::List { elem: e2, card: c2 },
-            ) => {
+            (Annot::Tuple(xs), Annot::Tuple(ys)) if xs.len() == ys.len() => {
+                Annot::Tuple(xs.iter().zip(ys).map(|(x, y)| x.join(y)).collect())
+            }
+            (Annot::List { elem: e1, card: c1 }, Annot::List { elem: e2, card: c2 }) => {
                 let card = if c1 == c2 {
                     c1.clone()
                 } else {
@@ -148,10 +145,9 @@ impl Annot {
     pub fn add(&self, other: &Annot) -> Annot {
         match (self, other) {
             (Annot::Zero, a) | (a, Annot::Zero) => a.clone(),
-            (
-                Annot::List { elem: e1, card: c1 },
-                Annot::List { elem: e2, card: c2 },
-            ) => Annot::list(e1.join(e2), simplify(&(c1.clone() + c2.clone()))),
+            (Annot::List { elem: e1, card: c1 }, Annot::List { elem: e2, card: c2 }) => {
+                Annot::list(e1.join(e2), simplify(&(c1.clone() + c2.clone())))
+            }
             (a, b) => Annot::Atom(simplify(&(a.size() + b.size()))),
         }
     }
@@ -161,10 +157,9 @@ impl Annot {
     pub fn scale(&self, factor: &Sym) -> Annot {
         match self {
             Annot::Zero => Annot::Zero,
-            Annot::List { elem, card } => Annot::list(
-                (**elem).clone(),
-                simplify(&(factor.clone() * card.clone())),
-            ),
+            Annot::List { elem, card } => {
+                Annot::list((**elem).clone(), simplify(&(factor.clone() * card.clone())))
+            }
             other => Annot::Atom(simplify(&(factor.clone() * other.size()))),
         }
     }
@@ -173,12 +168,8 @@ impl Annot {
     pub fn from_hint(hint: &SizeHint) -> Annot {
         match hint {
             SizeHint::Atom(n) => Annot::atom(*n),
-            SizeHint::Tuple(items) => {
-                Annot::Tuple(items.iter().map(Annot::from_hint).collect())
-            }
-            SizeHint::List(elem, card) => {
-                Annot::list(Annot::from_hint(elem), card_to_sym(card))
-            }
+            SizeHint::Tuple(items) => Annot::Tuple(items.iter().map(Annot::from_hint).collect()),
+            SizeHint::List(elem, card) => Annot::list(Annot::from_hint(elem), card_to_sym(card)),
         }
     }
 
@@ -186,9 +177,7 @@ impl Annot {
     pub fn simplified(&self) -> Annot {
         match self {
             Annot::Atom(s) => Annot::Atom(simplify(s)),
-            Annot::Tuple(items) => {
-                Annot::Tuple(items.iter().map(Annot::simplified).collect())
-            }
+            Annot::Tuple(items) => Annot::Tuple(items.iter().map(Annot::simplified).collect()),
             Annot::List { elem, card } => Annot::list(elem.simplified(), simplify(card)),
             Annot::Zero => Annot::Zero,
         }
@@ -239,7 +228,10 @@ mod tests {
         // <[[1]_y]_x, [<1,1>]_z> from the paper's §5.1 example.
         let a = Annot::Tuple(vec![
             Annot::list(Annot::list(Annot::atom(1), Sym::var("y")), x()),
-            Annot::list(Annot::Tuple(vec![Annot::atom(1), Annot::atom(1)]), Sym::var("z")),
+            Annot::list(
+                Annot::Tuple(vec![Annot::atom(1), Annot::atom(1)]),
+                Sym::var("z"),
+            ),
         ]);
         let size = simplify(&a.size());
         let expect = simplify(&(x() * Sym::var("y") + Sym::int(2) * Sym::var("z")));

@@ -66,7 +66,9 @@ impl Events {
     }
 
     fn entry(&mut self, from: NodeId, to: NodeId) -> &mut EdgeEvents {
-        self.edges.entry((from, to)).or_insert_with(EdgeEvents::zero)
+        self.edges
+            .entry((from, to))
+            .or_insert_with(EdgeEvents::zero)
     }
 
     fn add_init(&mut self, from: NodeId, to: NodeId, n: Sym) {
@@ -112,7 +114,11 @@ impl Events {
         let mut out = Events::zero();
         for k in keys {
             let a = self.edges.get(&k).cloned().unwrap_or_else(EdgeEvents::zero);
-            let b = other.edges.get(&k).cloned().unwrap_or_else(EdgeEvents::zero);
+            let b = other
+                .edges
+                .get(&k)
+                .cloned()
+                .unwrap_or_else(EdgeEvents::zero);
             out.edges.insert(
                 k,
                 EdgeEvents {
@@ -465,7 +471,14 @@ impl<'h> CostEngine<'h> {
     /// so both can be executed sequentially"): InitCom collapses to
     /// `max(1, size/maxSeqW)`. Otherwise every buffer flush is assumed to
     /// seek: `size / min(b_out, maxSeqW)`.
-    fn charge_write_path(&self, ev: &mut Events, from: NodeId, to: NodeId, size: &Sym, ctx: &mut Ctx) {
+    fn charge_write_path(
+        &self,
+        ev: &mut Events,
+        from: NodeId,
+        to: NodeId,
+        size: &Sym,
+        ctx: &mut Ctx,
+    ) {
         let dedicated = self.inputs.values().all(|(_, n)| *n != to);
         let mut path = self.h.path_to_root(to);
         path.reverse(); // root … to
@@ -492,13 +505,7 @@ impl<'h> CostEngine<'h> {
 
     /// Charges an element-at-a-time read of a list (`card` elements of
     /// `elem_bytes` each) along the path `from → root`.
-    fn charge_elementwise_read(
-        &self,
-        ev: &mut Events,
-        from: NodeId,
-        card: &Sym,
-        elem_bytes: &Sym,
-    ) {
+    fn charge_elementwise_read(&self, ev: &mut Events, from: NodeId, card: &Sym, elem_bytes: &Sym) {
         let path = self.h.path_to_root(from);
         for pair in path.windows(2) {
             let (a, b) = (pair[0], pair[1]);
@@ -793,12 +800,7 @@ impl<'h> CostEngine<'h> {
         }
     }
 
-    fn cost_app_lam(
-        &self,
-        lam: &Expr,
-        args: &[Expr],
-        ctx: &mut Ctx,
-    ) -> Result<Outcome, CostError> {
+    fn cost_app_lam(&self, lam: &Expr, args: &[Expr], ctx: &mut Ctx) -> Result<Outcome, CostError> {
         // Bind arguments one at a time (lazy: no transfer at binding —
         // consumption charges them; see DESIGN.md on lazy App vs Figure 6).
         let mut current = lam.clone();
@@ -964,12 +966,7 @@ impl<'h> CostEngine<'h> {
         }
     }
 
-    fn cost_def(
-        &self,
-        def: &DefName,
-        args: &[Expr],
-        ctx: &mut Ctx,
-    ) -> Result<Outcome, CostError> {
+    fn cost_def(&self, def: &DefName, args: &[Expr], ctx: &mut Ctx) -> Result<Outcome, CostError> {
         let root = self.root();
         if args.len() < def.arity() {
             // Partial application: a pure function value; argument events
@@ -997,9 +994,11 @@ impl<'h> CostEngine<'h> {
             }
             DefName::Head => {
                 let o = self.go(&args[0], ctx)?;
-                let elem = o.annot.elem().cloned().ok_or(CostError::BadShape {
-                    context: "head",
-                })?;
+                let elem = o
+                    .annot
+                    .elem()
+                    .cloned()
+                    .ok_or(CostError::BadShape { context: "head" })?;
                 let mut ev = o.ev;
                 if o.loc != root {
                     self.charge_elementwise_read(&mut ev, o.loc, &Sym::one(), &elem.size());
@@ -1013,10 +1012,15 @@ impl<'h> CostEngine<'h> {
             DefName::Tail => {
                 // A view: stays where the list is.
                 let o = self.go(&args[0], ctx)?;
-                let card = o.annot.card().ok_or(CostError::BadShape { context: "tail" })?;
-                let elem = o.annot.elem().cloned().ok_or(CostError::BadShape {
-                    context: "tail",
-                })?;
+                let card = o
+                    .annot
+                    .card()
+                    .ok_or(CostError::BadShape { context: "tail" })?;
+                let elem = o
+                    .annot
+                    .elem()
+                    .cloned()
+                    .ok_or(CostError::BadShape { context: "tail" })?;
                 Ok(Outcome {
                     annot: Annot::list(elem, simplify(&(card - Sym::one()))),
                     loc: o.loc,
@@ -1026,7 +1030,10 @@ impl<'h> CostEngine<'h> {
             DefName::Avg => {
                 // Naive streaming aggregate: element-at-a-time scan.
                 let o = self.go(&args[0], ctx)?;
-                let card = o.annot.card().ok_or(CostError::BadShape { context: "avg" })?;
+                let card = o
+                    .annot
+                    .card()
+                    .ok_or(CostError::BadShape { context: "avg" })?;
                 let elem_bytes = o
                     .annot
                     .elem()
@@ -1102,10 +1109,7 @@ impl<'h> CostEngine<'h> {
             // Streaming blocked read: b_in is a byte-sized buffer.
             ev.add_init(ms, md, total.clone() / Sym::var(B_IN));
             ev.add_bytes(ms, md, total.clone());
-            ctx.usage
-                .entry(root)
-                .or_default()
-                .push(Sym::var(B_IN));
+            ctx.usage.entry(root).or_default().push(Sym::var(B_IN));
         }
         let mut sctx = self.size_ctx(ctx);
         let annot = def_size_with_annots(def, &[src_annot], &mut sctx)?;
@@ -1288,9 +1292,7 @@ impl<'h> CostEngine<'h> {
         })?;
         let total_bytes = simplify(&seed_annot.size());
         let elems = match seed_annot.elem() {
-            Some(Annot::List { card: inner, .. }) => {
-                simplify(&(runs.clone() * inner.clone()))
-            }
+            Some(Annot::List { card: inner, .. }) => simplify(&(runs.clone() * inner.clone())),
             _ => runs.clone(),
         };
         let elem_bytes = match seed_annot.elem() {
@@ -1334,8 +1336,7 @@ impl<'h> CostEngine<'h> {
         // Buffer constraint: m input blocks + 1 output block at the root.
         if b_in.param_name().is_some() || b_out.param_name().is_some() {
             ctx.usage.entry(md).or_default().push(simplify(
-                &(Sym::int(m_val as i128) * b_in_sym * elem_bytes.clone()
-                    + b_out_sym * elem_bytes),
+                &(Sym::int(m_val as i128) * b_in_sym * elem_bytes.clone() + b_out_sym * elem_bytes),
             ));
         }
         Ok(Outcome {

@@ -218,25 +218,38 @@ fn app_size(e: &Expr, ctx: &mut SizeCtx) -> Result<Annot, CostError> {
     let (head, args) = spine(e);
     match head {
         Expr::Lam { .. } => {
-            // Fold the arguments in one at a time: ((λx.b)(a1))(a2)…
-            let mut current = head.clone();
-            for arg in args {
-                let a = go(&arg.clone(), ctx)?;
+            // β-reduce the spine ((λx.…)(a1))(a2)…: spine arguments are
+            // syntactically outside the lambdas, so size them all in the
+            // outer scope, then bind each under its lambda and size the
+            // innermost body with every binding in scope.
+            let mut sized = Vec::with_capacity(args.len());
+            for arg in args.iter().copied() {
+                sized.push(go(arg, ctx)?);
+            }
+            let mut current: &Expr = head;
+            let mut bound: Vec<(String, Option<Annot>)> = Vec::new();
+            let mut over_applied = false;
+            for a in sized {
                 match current {
                     Expr::Lam { param, body } => {
-                        let shadowed = ctx.gamma.insert(param.clone(), a);
-                        // Substitute lazily: evaluate the body size with the
-                        // binding in scope, then continue with body as the
-                        // new "function" if more arguments remain.
-                        current = (*body).clone();
-                        let result = go(&current, ctx);
-                        restore(&mut ctx.gamma, &param, shadowed);
-                        return result;
+                        bound.push((param.clone(), ctx.gamma.insert(param.clone(), a)));
+                        current = body;
                     }
-                    _ => return Err(CostError::Unsupported("over-applied lambda")),
+                    _ => {
+                        over_applied = true;
+                        break;
+                    }
                 }
             }
-            unreachable!("spine returned App head without args")
+            let result = if over_applied {
+                Err(CostError::Unsupported("over-applied lambda"))
+            } else {
+                go(current, ctx)
+            };
+            for (name, old) in bound.into_iter().rev() {
+                restore(&mut ctx.gamma, &name, old);
+            }
+            result
         }
         Expr::FlatMap { func } => {
             let [src] = args.as_slice() else {
@@ -329,10 +342,7 @@ fn fold_size(
 fn linear_growth(c: &Annot, step: &Annot, card: &Sym) -> Annot {
     match (c, step) {
         (Annot::Zero, Annot::Zero) => Annot::Zero,
-        (
-            Annot::List { card: c0, elem: e0 },
-            Annot::List { card: c1, elem: e1 },
-        ) => {
+        (Annot::List { card: c0, elem: e0 }, Annot::List { card: c1, elem: e1 }) => {
             let delta = simplify(&(c1.clone() - c0.clone()));
             let grown = simplify(&(c0.clone() + card.clone() * delta));
             Annot::list(e0.join(e1), grown)
@@ -386,10 +396,9 @@ pub fn def_size_with_annots(
         DefName::Mrg => {
             // One merge step: emits at most one element.
             let elem = match &args[0] {
-                Annot::Tuple(items) if !items.is_empty() => items[0]
-                    .elem()
-                    .cloned()
-                    .unwrap_or(Annot::Zero),
+                Annot::Tuple(items) if !items.is_empty() => {
+                    items[0].elem().cloned().unwrap_or(Annot::Zero)
+                }
                 _ => return Err(wrong()),
             };
             let out = Annot::list(elem, Sym::one());
@@ -539,6 +548,27 @@ mod tests {
     }
 
     #[test]
+    fn curried_application_binds_every_argument() {
+        // ((λx. λy. <x, y>)(R))(S): sizing the innermost body must see
+        // BOTH bindings. Regression test for the early return that bound
+        // only the first spine argument and sized the remaining lambda
+        // to an empty atom.
+        let ctx = ctx_binary_join();
+        let e = Expr::lam(
+            "x",
+            Expr::lam("y", Expr::tuple(vec![Expr::var("x"), Expr::var("y")])),
+        )
+        .app(Expr::var("R"))
+        .app(Expr::var("S"));
+        let annot = result_size(&e, &ctx).unwrap();
+        let expect = Annot::Tuple(vec![
+            Annot::relation(Sym::var("x"), 1, 1),
+            Annot::relation(Sym::var("y"), 1, 1),
+        ]);
+        assert_eq!(annot, expect);
+    }
+
+    #[test]
     fn figure4_intermediate_rows() {
         let ctx = ctx_binary_join();
         // Row 4: for (y <- yB) ... with xB, yB, x in scope.
@@ -635,23 +665,24 @@ mod tests {
         );
         // Total size is preserved up to the ceiling.
         let total = simplify(&annot.size());
-        let expect =
-            simplify(&(Sym::var("s1") * (Sym::var("x") / Sym::var("s1")).ceil()));
+        let expect = simplify(&(Sym::var("s1") * (Sym::var("x") / Sym::var("s1")).ceil()));
         assert_eq!(total, expect);
     }
 
     #[test]
     fn order_inputs_selector_gives_min_max() {
         let ctx = ctx_binary_join();
-        let e =
-            parse("if length(R) <= length(S) then <R, S> else <S, R>").unwrap();
+        let e = parse("if length(R) <= length(S) then <R, S> else <S, R>").unwrap();
         let annot = result_size(&e, &ctx).unwrap();
         let Annot::Tuple(items) = &annot else {
             panic!("expected pair, got {annot}");
         };
         let x = Sym::var("x");
         let y = Sym::var("y");
-        assert_eq!(items[0].card().unwrap(), simplify(&x.clone().min(y.clone())));
+        assert_eq!(
+            items[0].card().unwrap(),
+            simplify(&x.clone().min(y.clone()))
+        );
         assert_eq!(items[1].card().unwrap(), simplify(&x.max(y)));
     }
 

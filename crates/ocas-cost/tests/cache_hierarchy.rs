@@ -9,12 +9,7 @@ use ocas_hierarchy::presets;
 use ocas_symbolic::{eval, Env, Expr as Sym};
 use std::collections::BTreeMap;
 
-fn engine_report(
-    program: &str,
-) -> (
-    ocas_cost::CostReport,
-    ocas_hierarchy::Hierarchy,
-) {
+fn engine_report(program: &str) -> (ocas_cost::CostReport, ocas_hierarchy::Hierarchy) {
     let h = presets::hdd_ram_cache(8 << 20);
     let p = parse(program).unwrap();
     let mut annots = BTreeMap::new();
@@ -71,7 +66,10 @@ fn untiled_join_pays_per_element_cache_initiations() {
         .with("k1", 65536.0)
         .with("k2", 65536.0);
     let untiled = eval(&upper.init, &env).unwrap();
-    assert!(untiled > 1e6, "expected heavy per-element initiations, got {untiled}");
+    assert!(
+        untiled > 1e6,
+        "expected heavy per-element initiations, got {untiled}"
+    );
 }
 
 #[test]

@@ -24,7 +24,10 @@ fn figure4_hierarchy() -> Hierarchy {
     h.add_child(
         "RAM",
         NodeProps::new("HDD", 1 << 40, DeviceKind::Hdd),
-        EdgeCosts::symmetric(CostPair::new(Rat::millis(15), Rat::new(1, 30 * 1024 * 1024))),
+        EdgeCosts::symmetric(CostPair::new(
+            Rat::millis(15),
+            Rat::new(1, 30 * 1024 * 1024),
+        )),
     )
     .unwrap();
     h
@@ -104,8 +107,7 @@ fn figure4_event_counts() {
 #[test]
 fn naive_join_charges_one_seek_per_tuple() {
     let h = figure4_hierarchy();
-    let program =
-        parse("for (x <- R) for (y <- S) if x == y then [<x, y>] else []").unwrap();
+    let program = parse("for (x <- R) for (y <- S) if x == y then [<x, y>] else []").unwrap();
     let mut annots = BTreeMap::new();
     annots.insert("R".to_string(), Annot::relation(v("x"), 1, 1));
     annots.insert("S".to_string(), Annot::relation(v("y"), 1, 1));
@@ -210,8 +212,7 @@ fn external_merge_sort_cost_scales_with_levels() {
             "treeFold[{m}](<[], unfoldR[bin, bout](funcPow[{k}](mrg))>)(R)"
         ))
         .unwrap();
-        let engine =
-            CostEngine::new(&h, &layout, annots.clone(), stats.clone(), 1).unwrap();
+        let engine = CostEngine::new(&h, &layout, annots.clone(), stats.clone(), 1).unwrap();
         let report = engine.cost(&program).unwrap();
         let env = Env::new()
             .with("x", 1e9)

@@ -266,7 +266,15 @@ impl Executor {
                 b_out,
                 scratch,
                 output,
-            } => self.run_sort(*input, *fan_in, *b_in, *b_out, scratch, output, &mut compares)?,
+            } => self.run_sort(
+                *input,
+                *fan_in,
+                *b_in,
+                *b_out,
+                scratch,
+                output,
+                &mut compares,
+            )?,
             Plan::MergePass {
                 left,
                 right,
@@ -446,62 +454,59 @@ impl Executor {
 
         // Partition pass: stream each relation, hash rows into buckets,
         // spill bucket buffers as they fill.
-        let spill_partition =
-            |this: &mut Executor,
-             rel: &Relation,
-             hashes: &mut u64|
-             -> Result<Vec<Vec<Row>>, ExecError> {
-                let mut buckets: Vec<Vec<Row>> = vec![Vec::new(); partitions as usize];
-                let mut bucket_fill: Vec<u64> = vec![0; partitions as usize];
-                let per_bucket_buf =
-                    (buffer_bytes / partitions.max(1)).max(rel.tuple_bytes);
-                let block = (buffer_bytes / rel.tuple_bytes).max(1);
-                let mut idx = 0;
-                while idx < rel.card {
-                    let n = rel.read_block(&mut this.sm, idx, block)?;
-                    *hashes += n;
-                    if this.faithful() {
-                        for row in rel.block_rows(idx, n) {
-                            let key = row.first().copied().unwrap_or(0);
-                            let b = (ocal::stable_hash(&ocal::Value::Int(key))
-                                % partitions) as usize;
-                            buckets[b].push(row.clone());
-                            bucket_fill[b] += rel.tuple_bytes;
-                            if bucket_fill[b] >= per_bucket_buf {
-                                let f = this.sm.alloc(spill, bucket_fill[b])?;
-                                this.sm.write(f, 0, bucket_fill[b])?;
-                                bucket_fill[b] = 0;
-                            }
-                        }
-                    } else {
-                        // Uniform buckets: charge the same writes in bulk.
-                        let bytes = n * rel.tuple_bytes;
-                        let mut remaining = bytes;
-                        while remaining >= per_bucket_buf {
-                            let f = this.sm.alloc(spill, per_bucket_buf)?;
-                            this.sm.write(f, 0, per_bucket_buf)?;
-                            remaining -= per_bucket_buf;
-                        }
-                        // Remainder accumulates; approximate by carrying it
-                        // into the next block (tracked via bucket_fill[0]).
-                        bucket_fill[0] += remaining;
-                        if bucket_fill[0] >= per_bucket_buf {
-                            let f = this.sm.alloc(spill, bucket_fill[0])?;
-                            this.sm.write(f, 0, bucket_fill[0])?;
-                            bucket_fill[0] = 0;
+        let spill_partition = |this: &mut Executor,
+                               rel: &Relation,
+                               hashes: &mut u64|
+         -> Result<Vec<Vec<Row>>, ExecError> {
+            let mut buckets: Vec<Vec<Row>> = vec![Vec::new(); partitions as usize];
+            let mut bucket_fill: Vec<u64> = vec![0; partitions as usize];
+            let per_bucket_buf = (buffer_bytes / partitions.max(1)).max(rel.tuple_bytes);
+            let block = (buffer_bytes / rel.tuple_bytes).max(1);
+            let mut idx = 0;
+            while idx < rel.card {
+                let n = rel.read_block(&mut this.sm, idx, block)?;
+                *hashes += n;
+                if this.faithful() {
+                    for row in rel.block_rows(idx, n) {
+                        let key = row.first().copied().unwrap_or(0);
+                        let b = (ocal::stable_hash(&ocal::Value::Int(key)) % partitions) as usize;
+                        buckets[b].push(row.clone());
+                        bucket_fill[b] += rel.tuple_bytes;
+                        if bucket_fill[b] >= per_bucket_buf {
+                            let f = this.sm.alloc(spill, bucket_fill[b])?;
+                            this.sm.write(f, 0, bucket_fill[b])?;
+                            bucket_fill[b] = 0;
                         }
                     }
-                    idx += n.max(1);
-                }
-                for (b, fill) in bucket_fill.iter().enumerate() {
-                    if *fill > 0 {
-                        let f = this.sm.alloc(spill, *fill)?;
-                        this.sm.write(f, 0, *fill)?;
+                } else {
+                    // Uniform buckets: charge the same writes in bulk.
+                    let bytes = n * rel.tuple_bytes;
+                    let mut remaining = bytes;
+                    while remaining >= per_bucket_buf {
+                        let f = this.sm.alloc(spill, per_bucket_buf)?;
+                        this.sm.write(f, 0, per_bucket_buf)?;
+                        remaining -= per_bucket_buf;
                     }
-                    let _ = b;
+                    // Remainder accumulates; approximate by carrying it
+                    // into the next block (tracked via bucket_fill[0]).
+                    bucket_fill[0] += remaining;
+                    if bucket_fill[0] >= per_bucket_buf {
+                        let f = this.sm.alloc(spill, bucket_fill[0])?;
+                        this.sm.write(f, 0, bucket_fill[0])?;
+                        bucket_fill[0] = 0;
+                    }
                 }
-                Ok(buckets)
-            };
+                idx += n.max(1);
+            }
+            for (b, fill) in bucket_fill.iter().enumerate() {
+                if *fill > 0 {
+                    let f = this.sm.alloc(spill, *fill)?;
+                    this.sm.write(f, 0, *fill)?;
+                }
+                let _ = b;
+            }
+            Ok(buckets)
+        };
 
         let lbuckets = spill_partition(self, &l, &mut hashes)?;
         let rbuckets = spill_partition(self, &r, &mut hashes)?;
@@ -584,6 +589,9 @@ impl Executor {
         Ok((rows, collected))
     }
 
+    // The parameters mirror Plan::ExternalSort field-for-field; bundling
+    // them into a struct would just duplicate that variant.
+    #[allow(clippy::too_many_arguments)]
     fn run_sort(
         &mut self,
         input: usize,
@@ -632,9 +640,7 @@ impl Executor {
                     let half = (total_chunks / 2).max(1);
                     let pos = if c % 2 == 0 { c / 2 } else { half + c / 2 };
                     let offset = (pos * b_in) % n.max(1);
-                    let len = chunk_bytes
-                        .min((n - offset.min(n)) * tb)
-                        .max(tb.min(8));
+                    let len = chunk_bytes.min((n - offset.min(n)) * tb).max(tb.min(8));
                     self.sm.read(rel.file, offset * tb, len.min(rel.bytes()))?;
                 } else {
                     // Two alternating scratch extents: every read seeks,
@@ -660,10 +666,7 @@ impl Executor {
         // Final output.
         let mut sink = Sink::new(output, tb, self.faithful());
         if self.faithful() {
-            let mut rows = rel
-                .rows
-                .clone()
-                .ok_or(ExecError::MissingRows(input))?;
+            let mut rows = rel.rows.clone().ok_or(ExecError::MissingRows(input))?;
             rows.sort();
             for row in rows {
                 sink.emit_row(&mut self.sm, row)?;
@@ -696,9 +699,9 @@ impl Executor {
         // emitting output as the stream advances so writes interleave with
         // the reads (the head-interference behaviour a real merge has).
         let out_fraction = match kind {
-            MergeKind::SetUnion
-            | MergeKind::MultisetUnionSorted
-            | MergeKind::MultisetUnionVm => 1.0,
+            MergeKind::SetUnion | MergeKind::MultisetUnionSorted | MergeKind::MultisetUnionVm => {
+                1.0
+            }
             // Documented modeling assumption: on random inputs about half
             // of the left multiset survives the difference — the paper's
             // worst-case estimate (all of it) then overshoots, reproducing
@@ -963,7 +966,11 @@ mod tests {
         let sm = StorageSim::from_hierarchy(&h);
         Executor::new(
             sm,
-            if faithful { Mode::Faithful } else { Mode::Simulated },
+            if faithful {
+                Mode::Faithful
+            } else {
+                Mode::Simulated
+            },
             CpuModel::default(),
         )
     }
@@ -1108,13 +1115,8 @@ mod tests {
     fn wider_fan_in_needs_fewer_passes() {
         let mk = |fan: u64| -> f64 {
             let mut ex = setup(false, 1 << 22);
-            let l = Relation::create(
-                &mut ex.sm,
-                &RelSpec::ints("L", "HDD", 1 << 20),
-                false,
-                0,
-            )
-            .unwrap();
+            let l = Relation::create(&mut ex.sm, &RelSpec::ints("L", "HDD", 1 << 20), false, 0)
+                .unwrap();
             let li = ex.add_relation(l);
             ex.run(&Plan::ExternalSort {
                 input: li,
@@ -1265,7 +1267,10 @@ mod tests {
         let rows = l.rows.clone().unwrap();
         let li = ex.add_relation(l);
         let stats = ex
-            .run(&Plan::Aggregate { input: li, b_in: 64 })
+            .run(&Plan::Aggregate {
+                input: li,
+                b_in: 64,
+            })
             .unwrap();
         let sum: i64 = rows.iter().map(|r| r[0]).sum();
         assert_eq!(stats.output.unwrap()[0][0], sum / rows.len() as i64);
@@ -1281,20 +1286,10 @@ mod tests {
             };
             let sm = StorageSim::from_hierarchy(&h);
             let mut ex = Executor::new(sm, Mode::Simulated, CpuModel::default());
-            let r = Relation::create(
-                &mut ex.sm,
-                &RelSpec::pairs("R", "HDD", 2_000),
-                false,
-                0,
-            )
-            .unwrap();
-            let s = Relation::create(
-                &mut ex.sm,
-                &RelSpec::pairs("S", "HDD", 200_000),
-                false,
-                0,
-            )
-            .unwrap();
+            let r =
+                Relation::create(&mut ex.sm, &RelSpec::pairs("R", "HDD", 2_000), false, 0).unwrap();
+            let s = Relation::create(&mut ex.sm, &RelSpec::pairs("S", "HDD", 200_000), false, 0)
+                .unwrap();
             let ri = ex.add_relation(r);
             let si = ex.add_relation(s);
             ex.run(&Plan::BnlJoin {
@@ -1306,7 +1301,11 @@ mod tests {
                 pred: JoinPred::Cross,
                 order_inputs: true,
                 output: Output::ToDevice {
-                    device: if two_disks { "HDD2".into() } else { "HDD".into() },
+                    device: if two_disks {
+                        "HDD2".into()
+                    } else {
+                        "HDD".into()
+                    },
                     buffer_bytes: 20 * 1024,
                 },
             })
@@ -1330,11 +1329,10 @@ mod tests {
             let h = if device == "SSD" { h } else { h2 };
             let sm = StorageSim::from_hierarchy(&h);
             let mut ex = Executor::new(sm, Mode::Simulated, CpuModel::default());
-            let r = Relation::create(&mut ex.sm, &RelSpec::pairs("R", "HDD", 2_000), false, 0)
+            let r =
+                Relation::create(&mut ex.sm, &RelSpec::pairs("R", "HDD", 2_000), false, 0).unwrap();
+            let s = Relation::create(&mut ex.sm, &RelSpec::pairs("S", "HDD", 200_000), false, 0)
                 .unwrap();
-            let s =
-                Relation::create(&mut ex.sm, &RelSpec::pairs("S", "HDD", 200_000), false, 0)
-                    .unwrap();
             let ri = ex.add_relation(r);
             let si = ex.add_relation(s);
             ex.run(&Plan::BnlJoin {

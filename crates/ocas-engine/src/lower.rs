@@ -137,9 +137,7 @@ fn strip_wrappers(e: &Expr) -> &Expr {
 }
 
 fn first_unfoldr(e: &Expr) -> Option<(&BlockSize, &BlockSize)> {
-    match find(e, &|x| {
-        matches!(x, Expr::DefRef(DefName::UnfoldR { .. }))
-    })? {
+    match find(e, &|x| matches!(x, Expr::DefRef(DefName::UnfoldR { .. })))? {
         Expr::DefRef(DefName::UnfoldR { b_in, b_out }) => Some((b_in, b_out)),
         _ => None,
     }
@@ -169,7 +167,11 @@ pub fn lower(program: &Expr, hint: WorkloadHint, cx: &LowerCtx) -> Result<Plan, 
 }
 
 fn lower_join(program: &Expr, cross: bool, cx: &LowerCtx) -> Result<Plan, LowerError> {
-    let pred = if cross { JoinPred::Cross } else { JoinPred::KeyEq };
+    let pred = if cross {
+        JoinPred::Cross
+    } else {
+        JoinPred::KeyEq
+    };
     let order_inputs = contains_length_selector(program);
 
     // GRACE pipeline?
@@ -186,12 +188,7 @@ fn lower_join(program: &Expr, cross: bool, cx: &LowerCtx) -> Result<Plan, LowerE
             left: rel_index(cx, names[0])?,
             right: rel_index(cx, names[1])?,
             partitions,
-            buffer_bytes: cx
-                .params
-                .get("b_in")
-                .copied()
-                .unwrap_or(1 << 20)
-                .max(4096),
+            buffer_bytes: cx.params.get("b_in").copied().unwrap_or(1 << 20).max(4096),
             spill: cx.scratch.clone(),
             pred,
             output: cx.output.clone(),
@@ -205,10 +202,8 @@ fn lower_join(program: &Expr, cross: bool, cx: &LowerCtx) -> Result<Plan, LowerE
         return Err(LowerError::Unrecognized("no loops in join"));
     }
     // Blocked loops in chain order; element loops follow.
-    let blocked: Vec<&(&str, &BlockSize, &Expr)> = chain
-        .iter()
-        .filter(|(_, b, _)| !b.is_one())
-        .collect();
+    let blocked: Vec<&(&str, &BlockSize, &Expr)> =
+        chain.iter().filter(|(_, b, _)| !b.is_one()).collect();
     let k1 = blocked
         .first()
         .map(|(_, b, _)| block_value(b, &cx.params))
@@ -260,10 +255,7 @@ fn lower_join(program: &Expr, cross: bool, cx: &LowerCtx) -> Result<Plan, LowerE
     })
 }
 
-fn outermost_input(
-    chain: &[(&str, &BlockSize, &Expr)],
-    cx: &LowerCtx,
-) -> Option<String> {
+fn outermost_input(chain: &[(&str, &BlockSize, &Expr)], cx: &LowerCtx) -> Option<String> {
     for (_, _, source) in chain {
         let fv = source.free_vars();
         for v in fv {
@@ -288,15 +280,15 @@ fn lower_sort(program: &Expr, cx: &LowerCtx) -> Result<Plan, LowerError> {
         }
     };
     let (b_in, b_out) = match first_unfoldr(program) {
-        Some((bi, bo)) => (
-            block_value(bi, &cx.params)?,
-            block_value(bo, &cx.params)?,
-        ),
+        Some((bi, bo)) => (block_value(bi, &cx.params)?, block_value(bo, &cx.params)?),
         None => (1, 1),
     };
     let mut names: Vec<&String> = cx.relations.keys().collect();
     names.sort();
-    let input = rel_index(cx, names.first().ok_or(LowerError::Unrecognized("no input"))?)?;
+    let input = rel_index(
+        cx,
+        names.first().ok_or(LowerError::Unrecognized("no input"))?,
+    )?;
     Ok(Plan::ExternalSort {
         input,
         fan_in: fan_in.max(2),
@@ -307,11 +299,7 @@ fn lower_sort(program: &Expr, cx: &LowerCtx) -> Result<Plan, LowerError> {
     })
 }
 
-fn lower_merge(
-    program: &Expr,
-    hint: WorkloadHint,
-    cx: &LowerCtx,
-) -> Result<Plan, LowerError> {
+fn lower_merge(program: &Expr, hint: WorkloadHint, cx: &LowerCtx) -> Result<Plan, LowerError> {
     let kind = match hint {
         WorkloadHint::SetUnion => MergeKind::SetUnion,
         WorkloadHint::MultisetUnionSorted => MergeKind::MultisetUnionSorted,
@@ -361,9 +349,10 @@ fn lower_columns(program: &Expr, cx: &LowerCtx) -> Result<Plan, LowerError> {
 
 /// Finds the blocked prefetch loop's block size (if any).
 fn prefetch_block(program: &Expr, cx: &LowerCtx) -> Result<u64, LowerError> {
-    match find(program, &|x| {
-        matches!(x, Expr::For { block, .. } if !block.is_one())
-    }) {
+    match find(
+        program,
+        &|x| matches!(x, Expr::For { block, .. } if !block.is_one()),
+    ) {
         Some(Expr::For { block, .. }) => block_value(block, &cx.params),
         _ => Ok(1),
     }
@@ -376,7 +365,10 @@ fn lower_dedup(program: &Expr, cx: &LowerCtx) -> Result<Plan, LowerError> {
     };
     let mut names: Vec<&String> = cx.relations.keys().collect();
     names.sort();
-    let input = rel_index(cx, names.first().ok_or(LowerError::Unrecognized("no input"))?)?;
+    let input = rel_index(
+        cx,
+        names.first().ok_or(LowerError::Unrecognized("no input"))?,
+    )?;
     Ok(Plan::DedupSorted {
         input,
         b_in: b_in.max(1),
@@ -388,7 +380,10 @@ fn lower_aggregate(program: &Expr, cx: &LowerCtx) -> Result<Plan, LowerError> {
     let b_in = prefetch_block(program, cx)?;
     let mut names: Vec<&String> = cx.relations.keys().collect();
     names.sort();
-    let input = rel_index(cx, names.first().ok_or(LowerError::Unrecognized("no input"))?)?;
+    let input = rel_index(
+        cx,
+        names.first().ok_or(LowerError::Unrecognized("no input"))?,
+    )?;
     Ok(Plan::Aggregate {
         input,
         b_in: b_in.max(1),
@@ -431,7 +426,11 @@ mod tests {
         let plan = lower(&p, WorkloadHint::Join { cross: false }, &cx_two()).unwrap();
         match plan {
             Plan::BnlJoin {
-                k1, k2, tiling, pred, ..
+                k1,
+                k2,
+                tiling,
+                pred,
+                ..
             } => {
                 assert_eq!((k1, k2), (512, 256));
                 assert!(tiling.is_none());
@@ -450,7 +449,9 @@ mod tests {
         .unwrap();
         let plan = lower(&p, WorkloadHint::Join { cross: false }, &cx_two()).unwrap();
         match plan {
-            Plan::BnlJoin { tiling: Some(t), .. } => {
+            Plan::BnlJoin {
+                tiling: Some(t), ..
+            } => {
                 assert_eq!((t.outer, t.inner), (128, 64));
             }
             other => panic!("expected tiled BNL, got {other:?}"),
@@ -479,7 +480,10 @@ mod tests {
         let plan = lower(&p, WorkloadHint::Sort, &cx).unwrap();
         match plan {
             Plan::ExternalSort {
-                fan_in, b_in, b_out, ..
+                fan_in,
+                b_in,
+                b_out,
+                ..
             } => {
                 assert_eq!(fan_in, 8);
                 assert_eq!((b_in, b_out), (64, 32));

@@ -162,12 +162,7 @@ fn clamp(x: &mut [f64], params: &[ParamSpec]) {
 }
 
 /// Pattern (coordinate) search in log₂ space.
-fn pattern_search(
-    ev: &mut Evaluator<'_>,
-    start: &[f64],
-    inv_eps: f64,
-    max_iters: u32,
-) -> Vec<f64> {
+fn pattern_search(ev: &mut Evaluator<'_>, start: &[f64], inv_eps: f64, max_iters: u32) -> Vec<f64> {
     let params: Vec<ParamSpec> = ev.problem.params.clone();
     let mut x: Vec<f64> = start.to_vec();
     clamp(&mut x, &params);
@@ -205,8 +200,8 @@ fn pattern_search(
 pub fn optimize(problem: &Problem) -> Result<Optimum, OptError> {
     if problem.params.is_empty() {
         let env = problem.fixed.clone();
-        let objective = eval(&problem.objective, &env)
-            .map_err(|e| OptError::Unevaluable(e.to_string()))?;
+        let objective =
+            eval(&problem.objective, &env).map_err(|e| OptError::Unevaluable(e.to_string()))?;
         return Ok(Optimum {
             values: BTreeMap::new(),
             objective,

@@ -84,8 +84,7 @@ fn canonical_bag(v: &Value, sort_fields: bool) -> Option<Vec<String>> {
         .map(|i| {
             if sort_fields {
                 if let Value::Tuple(fields) = i {
-                    let mut fs: Vec<String> =
-                        fields.iter().map(|f| f.to_string()).collect();
+                    let mut fs: Vec<String> = fields.iter().map(|f| f.to_string()).collect();
                     fs.sort();
                     return format!("<{}>", fs.join(", "));
                 }
@@ -172,11 +171,7 @@ pub fn two_equal_list_inputs(env: &TypeEnv) -> Option<(String, String, Type)> {
     if lists[0].1 != lists[1].1 {
         return None;
     }
-    Some((
-        lists[0].0.clone(),
-        lists[1].0.clone(),
-        lists[0].1.clone(),
-    ))
+    Some((lists[0].0.clone(), lists[1].0.clone(), lists[0].1.clone()))
 }
 
 #[cfg(test)]

@@ -201,10 +201,7 @@ impl Rule for Prefetch {
         let Expr::App { func, arg } = e else {
             return vec![];
         };
-        let streaming = matches!(
-            &**func,
-            Expr::FoldL { .. } | Expr::DefRef(DefName::Avg)
-        );
+        let streaming = matches!(&**func, Expr::FoldL { .. } | Expr::DefRef(DefName::Avg));
         if !streaming {
             return vec![];
         }
@@ -360,10 +357,7 @@ impl Rule for SwapIterCond {
 fn already_ordered(e: &Expr) -> bool {
     fn contains_length_selector(e: &Expr) -> bool {
         if let Expr::If { cond, .. } = e {
-            if let Expr::Prim {
-                op: PrimOp::Le, ..
-            } = &**cond
-            {
+            if let Expr::Prim { op: PrimOp::Le, .. } = &**cond {
                 return true;
             }
         }
@@ -441,8 +435,7 @@ impl Rule for HashPart {
             .subst(&a, &Expr::var(q.clone()).proj(1))
             .subst(&b, &Expr::var(q.clone()).proj(2));
         let part = |x: &str| {
-            Expr::def(DefName::HashPartition(BlockSize::Param(s.clone())))
-                .app(Expr::var(x))
+            Expr::def(DefName::HashPartition(BlockSize::Param(s.clone()))).app(Expr::var(x))
         };
         let zipped = Expr::def(DefName::unfoldr())
             .app(Expr::def(DefName::Zip(2)))
@@ -539,7 +532,11 @@ impl Rule for IncBranching {
     fn apply(&self, e: &Expr, _cx: &mut RuleCtx<'_>) -> Vec<Expr> {
         // Match treeFold[m](<c, step>)(seed) where step embeds funcPow[k]
         // with 2^k == m.
-        let Expr::App { func: outer, arg: seed } = e else {
+        let Expr::App {
+            func: outer,
+            arg: seed,
+        } = e
+        else {
             return vec![];
         };
         let Expr::App { func: tf, arg: cf } = &**outer else {
@@ -572,10 +569,9 @@ impl Rule for IncBranching {
 fn bump_funcpow(step: &Expr) -> Option<(u32, Expr)> {
     match step {
         Expr::App { func, arg } => match &**func {
-            Expr::DefRef(DefName::FuncPow(k)) => Some((
-                *k,
-                Expr::def(DefName::FuncPow(k + 1)).app((**arg).clone()),
-            )),
+            Expr::DefRef(DefName::FuncPow(k)) => {
+                Some((*k, Expr::def(DefName::FuncPow(k + 1)).app((**arg).clone())))
+            }
             Expr::DefRef(DefName::UnfoldR { .. }) => {
                 let (k, inner) = bump_funcpow(arg)?;
                 Some((
@@ -642,10 +638,7 @@ impl Rule for SeqAc {
             source: source.clone(),
             out_block: out_block.clone(),
             body: body.clone(),
-            seq: Some(SeqAnnot {
-                from: m1,
-                to: m2,
-            }),
+            seq: Some(SeqAnnot { from: m1, to: m2 }),
         }]
     }
 }
@@ -694,10 +687,7 @@ mod tests {
         let e = parse("for (x <- R) [x]").unwrap();
         let out = ApplyBlock.apply(&e, &mut cx);
         assert_eq!(out.len(), 1);
-        assert_eq!(
-            pretty(&out[0]),
-            "for (xB_1 [k0] <- R) for (x <- xB_1) [x]"
-        );
+        assert_eq!(pretty(&out[0]), "for (xB_1 [k0] <- R) for (x <- xB_1) [x]");
     }
 
     #[test]
@@ -718,11 +708,9 @@ mod tests {
         let env = join_env();
         let inputs = hdd_inputs(&["R", "S"]);
         let mut cx = ctx(&h, &env, &inputs);
-        let good =
-            parse("for (x <- R) if x.1 == 1 then for (y <- S) [<x, y>] else []").unwrap();
+        let good = parse("for (x <- R) if x.1 == 1 then for (y <- S) [<x, y>] else []").unwrap();
         assert_eq!(SwapIterCond.apply(&good, &mut cx).len(), 1);
-        let bad =
-            parse("for (x <- R) if x.1 == 1 then for (y <- S) [<x, y>] else [x]").unwrap();
+        let bad = parse("for (x <- R) if x.1 == 1 then for (y <- S) [<x, y>] else [x]").unwrap();
         assert!(SwapIterCond.apply(&bad, &mut cx).is_empty());
     }
 
@@ -732,8 +720,7 @@ mod tests {
         let env = join_env();
         let inputs = hdd_inputs(&["R", "S"]);
         let mut cx = ctx(&h, &env, &inputs);
-        let join =
-            parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
+        let join = parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
         let out = OrderInputs.apply(&join, &mut cx);
         assert_eq!(out.len(), 1);
         let s = pretty(&out[0]);
@@ -749,8 +736,7 @@ mod tests {
         let env = join_env();
         let inputs = hdd_inputs(&["R", "S"]);
         let mut cx = ctx(&h, &env, &inputs);
-        let join =
-            parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
+        let join = parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
         let out = HashPart.apply(&join, &mut cx);
         assert_eq!(out.len(), 1);
         let s = pretty(&out[0]);
@@ -762,12 +748,9 @@ mod tests {
     #[test]
     fn sort_derivation_chain() {
         let h = presets::hdd_ram(1 << 25);
-        let env: TypeEnv = [(
-            "R".to_string(),
-            Type::list(Type::list(Type::Int)),
-        )]
-        .into_iter()
-        .collect();
+        let env: TypeEnv = [("R".to_string(), Type::list(Type::list(Type::Int)))]
+            .into_iter()
+            .collect();
         let inputs = hdd_inputs(&["R"]);
         let mut cx = ctx(&h, &env, &inputs);
 
@@ -868,7 +851,10 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert!(matches!(
             &out[0],
-            Expr::DefRef(DefName::UnfoldR { b_in: BlockSize::Param(_), .. })
+            Expr::DefRef(DefName::UnfoldR {
+                b_in: BlockSize::Param(_),
+                ..
+            })
         ));
         assert!(UnfoldrBlock.apply(&out[0], &mut cx).is_empty());
     }

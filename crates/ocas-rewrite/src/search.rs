@@ -138,11 +138,7 @@ pub fn search(
 }
 
 /// Applies every rule at every position of `e`, returning whole programs.
-pub fn rewrite_everywhere(
-    e: &Expr,
-    rules: &[Box<dyn Rule>],
-    cx: &mut RuleCtx<'_>,
-) -> Vec<Expr> {
+pub fn rewrite_everywhere(e: &Expr, rules: &[Box<dyn Rule>], cx: &mut RuleCtx<'_>) -> Vec<Expr> {
     fn go(
         e: &Expr,
         rules: &[Box<dyn Rule>],
@@ -269,9 +265,7 @@ fn collect_params(e: &Expr, out: &mut Vec<String>) {
             push(block);
             push(out_block);
         }
-        Expr::DefRef(DefName::TreeFold(k)) | Expr::DefRef(DefName::HashPartition(k)) => {
-            push(k)
-        }
+        Expr::DefRef(DefName::TreeFold(k)) | Expr::DefRef(DefName::HashPartition(k)) => push(k),
         Expr::DefRef(DefName::UnfoldR { b_in, b_out }) => {
             push(b_in);
             push(b_out);
@@ -309,9 +303,7 @@ fn rename_params(e: &Expr, map: &BTreeMap<String, String>) -> Expr {
             seq: seq.clone(),
         },
         Expr::DefRef(DefName::TreeFold(k)) => Expr::DefRef(DefName::TreeFold(rn(k))),
-        Expr::DefRef(DefName::HashPartition(k)) => {
-            Expr::DefRef(DefName::HashPartition(rn(k)))
-        }
+        Expr::DefRef(DefName::HashPartition(k)) => Expr::DefRef(DefName::HashPartition(rn(k))),
         Expr::DefRef(DefName::UnfoldR { b_in, b_out }) => Expr::DefRef(DefName::UnfoldR {
             b_in: rn(b_in),
             b_out: rn(b_out),
@@ -357,23 +349,13 @@ mod tests {
         let h = presets::hdd_ram(8 << 20);
         let env = join_env();
         let inputs = hdd_inputs(&["R", "S"]);
-        let spec =
-            parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
+        let spec = parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
         let cfg = SearchConfig {
             max_depth: 5,
             max_programs: 4000,
             validation: Some(ValidationCfg::new(env.clone(), Equivalence::Bag)),
         };
-        let result = search(
-            &spec,
-            &env,
-            &h,
-            &inputs,
-            None,
-            &default_rules(),
-            &cfg,
-        )
-        .unwrap();
+        let result = search(&spec, &env, &h, &inputs, None, &default_rules(), &cfg).unwrap();
         assert!(result.stats.explored > 10, "{:?}", result.stats);
         // The canonical BNL shape must be somewhere in the space: an outer
         // blocked loop over one relation, an inner blocked loop over the
@@ -382,7 +364,11 @@ mod tests {
             let s = pretty(p);
             is_bnl_shape(&s)
         });
-        assert!(found, "no BNL shape among {} programs", result.stats.explored);
+        assert!(
+            found,
+            "no BNL shape among {} programs",
+            result.stats.explored
+        );
         // And a seq-annotated variant too.
         let seq_found = result
             .programs
@@ -409,12 +395,9 @@ mod tests {
     #[test]
     fn sort_space_reaches_wide_merges() {
         let h = presets::hdd_ram(8 << 20);
-        let env: TypeEnv = [(
-            "R".to_string(),
-            Type::list(Type::list(Type::Int)),
-        )]
-        .into_iter()
-        .collect();
+        let env: TypeEnv = [("R".to_string(), Type::list(Type::list(Type::Int)))]
+            .into_iter()
+            .collect();
         let inputs = hdd_inputs(&["R"]);
         let spec = parse("foldL([], unfoldR(mrg))(R)").unwrap();
         let cfg = SearchConfig {
@@ -424,16 +407,7 @@ mod tests {
                 ValidationCfg::new(env.clone(), Equivalence::Exact).with_sorted_inputs(),
             ),
         };
-        let result = search(
-            &spec,
-            &env,
-            &h,
-            &inputs,
-            None,
-            &default_rules(),
-            &cfg,
-        )
-        .unwrap();
+        let result = search(&spec, &env, &h, &inputs, None, &default_rules(), &cfg).unwrap();
         let widths: Vec<u64> = result
             .programs
             .iter()
@@ -475,16 +449,7 @@ mod tests {
             max_programs: 500,
             validation: Some(ValidationCfg::new(env.clone(), Equivalence::Bag)),
         };
-        let result = search(
-            &spec,
-            &env,
-            &h,
-            &inputs,
-            None,
-            &default_rules(),
-            &cfg,
-        )
-        .unwrap();
+        let result = search(&spec, &env, &h, &inputs, None, &default_rules(), &cfg).unwrap();
         assert!(
             result.stats.rejected_semantics > 0,
             "expected semantic rejections: {:?}",
@@ -510,16 +475,7 @@ mod tests {
             max_programs: 200,
             validation: None,
         };
-        let result = search(
-            &spec,
-            &env,
-            &h,
-            &inputs,
-            None,
-            &default_rules(),
-            &cfg,
-        )
-        .unwrap();
+        let result = search(&spec, &env, &h, &inputs, None, &default_rules(), &cfg).unwrap();
         assert!(result.stats.explored >= 2);
         assert!(result.stats.depth_reached >= 1);
         assert_eq!(result.programs[0].1, 0, "spec first at depth 0");

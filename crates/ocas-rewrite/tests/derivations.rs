@@ -32,12 +32,14 @@ fn space(depth: u32) -> Vec<String> {
     let h = presets::hdd_ram(8 << 20);
     let env = join_env();
     let inputs = hdd_inputs();
-    let spec =
-        parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
+    let spec = parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
     let cfg = SearchConfig {
         max_depth: depth,
         max_programs: 3000,
-        validation: Some(ValidationCfg::new(env.clone(), Equivalence::BagModuloFieldOrder)),
+        validation: Some(ValidationCfg::new(
+            env.clone(),
+            Equivalence::BagModuloFieldOrder,
+        )),
     };
     let result = search(&spec, &env, &h, &inputs, None, &default_rules(), &cfg).unwrap();
     result.programs.iter().map(|(p, _)| pretty(p)).collect()
@@ -54,7 +56,9 @@ fn derivation_step1_single_blocking() {
         "blocking R missing: {programs:#?}"
     );
     assert!(
-        programs.iter().any(|p| p.contains("<- S") && p.contains("[k")),
+        programs
+            .iter()
+            .any(|p| p.contains("<- S") && p.contains("[k")),
         "blocking S missing"
     );
     // swap-iter-cond applies at depth 1 too (the paper's if-variant).
@@ -113,9 +117,7 @@ fn sort_derivation_reaches_every_intermediate() {
     let cfg = SearchConfig {
         max_depth: 7,
         max_programs: 500,
-        validation: Some(
-            ValidationCfg::new(env.clone(), Equivalence::Exact).with_sorted_inputs(),
-        ),
+        validation: Some(ValidationCfg::new(env.clone(), Equivalence::Exact).with_sorted_inputs()),
     };
     let result = search(&spec, &env, &h, &inputs, None, &default_rules(), &cfg).unwrap();
     let programs: Vec<String> = result.programs.iter().map(|(p, _)| pretty(p)).collect();
@@ -146,12 +148,14 @@ fn every_program_in_the_space_is_semantically_valid() {
     let h = presets::hdd_ram(8 << 20);
     let env = join_env();
     let inputs = hdd_inputs();
-    let spec =
-        parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
+    let spec = parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
     let cfg = SearchConfig {
         max_depth: 3,
         max_programs: 300,
-        validation: Some(ValidationCfg::new(env.clone(), Equivalence::BagModuloFieldOrder)),
+        validation: Some(ValidationCfg::new(
+            env.clone(),
+            Equivalence::BagModuloFieldOrder,
+        )),
     };
     let result = search(&spec, &env, &h, &inputs, None, &default_rules(), &cfg).unwrap();
     let mut recheck = ValidationCfg::new(env.clone(), Equivalence::BagModuloFieldOrder);

@@ -114,7 +114,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut c = CacheSim::new(1024, 64, 1); // 16 lines, direct mapped.
-        // Stream over 64 lines repeatedly: every access misses after warmup.
+                                                // Stream over 64 lines repeatedly: every access misses after warmup.
         for _ in 0..3 {
             for i in 0..64u64 {
                 c.access(i * 64, 1);

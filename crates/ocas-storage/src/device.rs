@@ -264,7 +264,7 @@ mod tests {
     fn random_reads_seek_every_time() {
         let mut d = hdd();
         for i in 0..10u64 {
-            d.read((10 - i) * 1 << 20, 4096);
+            d.read((10 - i) * (1 << 20), 4096);
         }
         assert_eq!(d.stats.seeks, 10);
         assert!(d.stats.busy_seconds > 10.0 * 0.015);

@@ -113,7 +113,12 @@ impl StorageSim {
     }
 
     /// Allocates on the device of a hierarchy node id.
-    pub fn alloc_on(&mut self, h: &Hierarchy, node: NodeId, len: u64) -> Result<FileId, StorageError> {
+    pub fn alloc_on(
+        &mut self,
+        h: &Hierarchy,
+        node: NodeId,
+        len: u64,
+    ) -> Result<FileId, StorageError> {
         let name = h.node(node).name.clone();
         self.alloc(&name, len)
     }
@@ -191,7 +196,7 @@ impl StorageSim {
             .device_by_name
             .get(device)
             .ok_or_else(|| StorageError::UnknownDevice(device.to_string()))?;
-        self.allocated[d] = self.allocated[d].min(mark.max(0)).max(0);
+        self.allocated[d] = self.allocated[d].min(mark);
         Ok(())
     }
 

@@ -219,10 +219,7 @@ mod tests {
     fn huge_unexpanded_sum_errors_but_closed_form_works() {
         let s = Expr::sum("j", Expr::int(0), v("x"), v("j"));
         let env = Env::new().with("x", 1e9);
-        assert!(matches!(
-            eval(&s, &env),
-            Err(EvalError::SumTooLarge { .. })
-        ));
+        assert!(matches!(eval(&s, &env), Err(EvalError::SumTooLarge { .. })));
         let closed = simplify(&s);
         let got = eval(&closed, &env).unwrap();
         let expect = 1e9 * (1e9 + 1.0) / 2.0;

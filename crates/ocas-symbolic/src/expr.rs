@@ -164,9 +164,7 @@ impl Expr {
                     x.collect_vars(out);
                 }
             }
-            Expr::Pow(e, _) | Expr::Ceil(e) | Expr::Floor(e) | Expr::Log2(e) => {
-                e.collect_vars(out)
-            }
+            Expr::Pow(e, _) | Expr::Ceil(e) | Expr::Floor(e) | Expr::Log2(e) => e.collect_vars(out),
             Expr::Sum {
                 var,
                 from,

@@ -193,6 +193,8 @@ impl Mul for Rat {
 
 impl Div for Rat {
     type Output = Rat;
+    // Dividing by a rational IS multiplying by its reciprocal.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Rat) -> Rat {
         self * rhs.recip()
     }

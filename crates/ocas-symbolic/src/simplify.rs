@@ -346,7 +346,9 @@ fn sum_poly(var: &str, from: &Expr, to: &Expr, body: &Expr) -> Poly {
             0 => n.clone(),
             1 => n.mul(&n1).mul(&Poly::constant(Rat::new(1, 2))),
             2 => {
-                let two_n1 = n.mul(&Poly::constant(Rat::int(2))).add(&Poly::constant(Rat::ONE));
+                let two_n1 = n
+                    .mul(&Poly::constant(Rat::int(2)))
+                    .add(&Poly::constant(Rat::ONE));
                 n.mul(&n1).mul(&two_n1).mul(&Poly::constant(Rat::new(1, 6)))
             }
             3 => {
@@ -434,8 +436,7 @@ mod tests {
         let s = Expr::sum("j", Expr::int(0), v("x") - Expr::int(1), body);
         let got = simplify(&s);
         let expect = simplify(
-            &(v("x") * v("seek")
-                + v("x") * (v("x") + Expr::int(1)) * Expr::rat(1, 2) * v("unit")),
+            &(v("x") * v("seek") + v("x") * (v("x") + Expr::int(1)) * Expr::rat(1, 2) * v("unit")),
         );
         assert_eq!(got, expect);
     }
@@ -445,7 +446,9 @@ mod tests {
         let s = Expr::sum("j", Expr::int(1), v("n"), v("j") * v("j"));
         let got = simplify(&s);
         let expect = simplify(
-            &(v("n") * (v("n") + Expr::int(1)) * (Expr::int(2) * v("n") + Expr::int(1))
+            &(v("n")
+                * (v("n") + Expr::int(1))
+                * (Expr::int(2) * v("n") + Expr::int(1))
                 * Expr::rat(1, 6)),
         );
         assert_eq!(got, expect);

@@ -10,11 +10,9 @@
 //! absolute seconds.
 
 use crate::specs::{self, Spec};
-use crate::synth::{Synthesis, SynthError, Synthesizer};
+use crate::synth::{SynthError, Synthesis, Synthesizer};
 use ocas_cost::Layout;
-use ocas_engine::{
-    lower, CpuModel, Executor, LowerError, Mode, Output, Plan, RelSpec, Relation,
-};
+use ocas_engine::{lower, CpuModel, Executor, LowerError, Mode, Output, Plan, RelSpec, Relation};
 use ocas_hierarchy::{presets, Hierarchy};
 use ocas_storage::{CacheSim, StorageSim};
 use std::collections::BTreeMap;
@@ -194,10 +192,7 @@ pub fn bnl_no_writeout() -> Experiment {
         spec: specs::join(x, y, false),
         hierarchy: presets::hdd_ram(8 * MIB),
         layout: join_layout(None),
-        rel_specs: vec![
-            RelSpec::pairs("R", "HDD", x),
-            RelSpec::pairs("S", "HDD", y),
-        ],
+        rel_specs: vec![RelSpec::pairs("R", "HDD", x), RelSpec::pairs("S", "HDD", y)],
         output: Output::Discard,
         scratch: "HDD".into(),
         depth: 5,
@@ -236,10 +231,7 @@ fn writeout_join(name: &str, hierarchy: Hierarchy, out_device: &str) -> Experime
         spec: specs::join(x, y, true),
         hierarchy,
         layout: join_layout(Some(out_device)),
-        rel_specs: vec![
-            RelSpec::pairs("R", "HDD", x),
-            RelSpec::pairs("S", "HDD", y),
-        ],
+        rel_specs: vec![RelSpec::pairs("R", "HDD", x), RelSpec::pairs("S", "HDD", y)],
         output: Output::ToDevice {
             device: out_device.into(),
             buffer_bytes: 20 * 1024,

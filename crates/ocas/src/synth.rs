@@ -162,8 +162,7 @@ impl Synthesizer {
                 .or_else(|_| ladder_search(&problem))
                 .map_err(|_| CostError::Unsupported("parameter optimization"))?
         } else {
-            ladder_search(&problem)
-                .map_err(|_| CostError::Unsupported("parameter optimization"))?
+            ladder_search(&problem).map_err(|_| CostError::Unsupported("parameter optimization"))?
         };
         Ok(Candidate {
             program: program.clone(),

@@ -57,20 +57,16 @@ pub fn is_block_nested_loops(e: &Expr) -> bool {
             _ => break,
         }
     }
-    blocks >= 1
-        && blocks + seq_scans >= 2
-        && element_loops >= 1
-        && matches!(cur, Expr::If { .. })
+    blocks >= 1 && blocks + seq_scans >= 2 && element_loops >= 1 && matches!(cur, Expr::If { .. })
 }
 
 /// The GRACE hash join: hash-partition both inputs, zip the partitions,
 /// flatMap a join over the bucket pairs.
 pub fn is_grace_hash_join(e: &Expr) -> bool {
-    let has_partition = find(e, &|x| {
-        matches!(x, Expr::DefRef(DefName::HashPartition(_)))
-    });
+    let has_partition = find(e, &|x| matches!(x, Expr::DefRef(DefName::HashPartition(_))));
     let has_zip = find(e, &|x| matches!(x, Expr::DefRef(DefName::Zip(_))));
-    let has_flatmap = matches!(e, Expr::App { func, .. } if matches!(&**func, Expr::FlatMap { .. }));
+    let has_flatmap =
+        matches!(e, Expr::App { func, .. } if matches!(&**func, Expr::FlatMap { .. }));
     has_partition && has_zip && has_flatmap
 }
 
@@ -130,8 +126,7 @@ mod tests {
         )
         .unwrap();
         assert!(is_block_nested_loops(&bnl));
-        let naive =
-            parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
+        let naive = parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
         assert!(!is_block_nested_loops(&naive));
     }
 

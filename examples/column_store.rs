@@ -29,10 +29,9 @@ fn main() {
          if x.1 == y.1 then [<x, y>] else []",
     )
     .unwrap();
-    let params: BTreeMap<String, u64> =
-        [("k1".to_string(), 262144u64), ("k2".to_string(), 131072)]
-            .into_iter()
-            .collect();
+    let params: BTreeMap<String, u64> = [("k1".to_string(), 262144u64), ("k2".to_string(), 131072)]
+        .into_iter()
+        .collect();
     let c = Codegen::new(params)
         .emit_program(
             &program,

@@ -17,9 +17,18 @@ fn main() {
 
     let synth = exp.synthesize().expect("synthesis");
     println!("explored {} programs", synth.stats.explored);
-    println!("naive (insertion sort) estimate: {:.3e} s", synth.spec.seconds);
-    println!("synthesized estimate:            {:.0} s", synth.best.seconds);
-    println!("\nsynthesized algorithm:\n    {}", ocal::pretty(&synth.best.program));
+    println!(
+        "naive (insertion sort) estimate: {:.3e} s",
+        synth.spec.seconds
+    );
+    println!(
+        "synthesized estimate:            {:.0} s",
+        synth.best.seconds
+    );
+    println!(
+        "\nsynthesized algorithm:\n    {}",
+        ocal::pretty(&synth.best.program)
+    );
 
     let fan = verify::is_external_merge_sort(&synth.best.program, 2)
         .expect("winner should be an external merge sort");
@@ -29,5 +38,8 @@ fn main() {
     }
 
     let act = exp.execute(&synth).expect("execution");
-    println!("\nsimulated measured time: {act:.0} s (estimate {:.0} s)", synth.best.seconds);
+    println!(
+        "\nsimulated measured time: {act:.0} s (estimate {:.0} s)",
+        synth.best.seconds
+    );
 }

@@ -36,7 +36,10 @@ fn main() {
         result.best.seconds,
         (result.spec.seconds / result.best.seconds) as u64
     );
-    println!("\nsynthesized algorithm:\n    {}", ocal::pretty(&result.best.program));
+    println!(
+        "\nsynthesized algorithm:\n    {}",
+        ocal::pretty(&result.best.program)
+    );
     println!("\ntuned parameters:");
     for (k, v) in &result.best.params {
         println!("    {k} = {v}");

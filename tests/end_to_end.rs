@@ -56,9 +56,8 @@ fn synthesized_join_agrees_with_interpreter() {
     let stats = ex.run(&plan).expect("execution");
 
     // Reference interpreter on the same data.
-    let to_pairs = |rows: &[Vec<i64>]| -> Vec<(i64, i64)> {
-        rows.iter().map(|r| (r[0], r[1])).collect()
-    };
+    let to_pairs =
+        |rows: &[Vec<i64>]| -> Vec<(i64, i64)> { rows.iter().map(|r| (r[0], r[1])).collect() };
     let inputs: BTreeMap<String, Value> = [
         ("R".to_string(), Value::pair_list(&to_pairs(&r_rows))),
         ("S".to_string(), Value::pair_list(&to_pairs(&s_rows))),
@@ -158,10 +157,7 @@ fn textbook_shapes_emerge() {
         "not a merge sort: {}",
         ocal::pretty(&synth.best.program)
     );
-    assert!(
-        fan.unwrap() >= 4,
-        "expected a multi-way merge, got {fan:?}"
-    );
+    assert!(fan.unwrap() >= 4, "expected a multi-way merge, got {fan:?}");
 }
 
 /// The search-space statistics behave as §7.4 describes: space grows with

@@ -1,0 +1,35 @@
+//! Workspace smoke test: the `ocas::Synthesizer` quickstart path from
+//! `crates/ocas/src/lib.rs`, exercised as an integration test so CI fails
+//! loudly if the front-door API regresses (join spec → synthesize →
+//! non-empty, cheaper-than-naive result).
+
+use ocas::{specs, Synthesizer};
+use ocas_cost::Layout;
+use ocas_hierarchy::presets;
+
+#[test]
+fn synthesizer_quickstart_produces_nonempty_result() {
+    // The naive join of the paper's Example 1, at small scale.
+    let spec = specs::join(4096, 512, false);
+    let hierarchy = presets::hdd_ram(64 * 1024);
+    let layout = Layout::all_inputs_on("HDD", &["R", "S"]);
+    let synth = Synthesizer::new(hierarchy, layout)
+        .with_depth(4)
+        .with_max_programs(200)
+        .without_rules(&["hash-part", "prefetch", "fldL-to-trfld"]);
+
+    let result = synth.synthesize(&spec).unwrap();
+
+    assert!(result.costed > 0, "search must cost candidate programs");
+    assert!(
+        result.best.seconds.is_finite() && result.best.seconds > 0.0,
+        "best candidate must carry a real cost estimate, got {}",
+        result.best.seconds
+    );
+    assert!(
+        result.best.seconds < result.spec.seconds / 10.0,
+        "the synthesized join ({:.3}s) must beat the naive one ({:.3}s) by far",
+        result.best.seconds,
+        result.spec.seconds
+    );
+}
