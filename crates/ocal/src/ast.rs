@@ -604,6 +604,39 @@ impl Expr {
             .sum::<usize>()
     }
 
+    /// Recognizes a *fully-applied lambda spine* `((λp₁. … λpₙ. body)(a₁))…(aₙ)`
+    /// and returns the `(pᵢ, aᵢ)` bindings in application order together
+    /// with the innermost `body`. Returns `None` for anything else —
+    /// non-applications, non-lambda heads, and over-applied spines.
+    ///
+    /// This is the one shared implementation of the "peel a (possibly
+    /// curried) wrapper" operation; the engine's lowering, the shape
+    /// matchers and the C backend all use it so the
+    /// single-argument-application bug class (cf. the `app_size` fix in
+    /// `ocas-cost`) cannot silently reappear in one of them.
+    pub fn applied_lambda_spine(&self) -> Option<(Vec<(&str, &Expr)>, &Expr)> {
+        let mut head = self;
+        let mut args: Vec<&Expr> = Vec::new();
+        while let Expr::App { func, arg } = head {
+            args.push(arg);
+            head = func;
+        }
+        if args.is_empty() || !matches!(head, Expr::Lam { .. }) {
+            return None;
+        }
+        args.reverse();
+        let mut bindings = Vec::with_capacity(args.len());
+        let mut body = head;
+        for arg in args {
+            let Expr::Lam { param, body: inner } = body else {
+                return None; // over-applied: more arguments than lambdas
+            };
+            bindings.push((param.as_str(), arg));
+            body = inner;
+        }
+        Some((bindings, body))
+    }
+
     // ---- Binding-aware operations -------------------------------------------
 
     /// Free variables of the expression.

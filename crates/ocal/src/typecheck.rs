@@ -388,6 +388,21 @@ fn infer_app(
     func: &Expr,
     arg: &Expr,
 ) -> Result<Type, TypeError> {
+    // Saturated `flatMap(f)(src)`: the function's parameter type comes from
+    // the *source*, so infer the source first and apply the function to its
+    // element type — otherwise a λ parameter's tuple projections face an
+    // unresolved type variable (the GRACE pipeline's `λq. … q.1 … q.2 …`
+    // over zipped partition pairs needs this).
+    if let Expr::FlatMap { func: f } = func {
+        let src = infer_expr(infer, scope, arg)?;
+        let elem = infer.fresh();
+        infer.unify(&src, &Type::list(elem.clone()), "flatMap source")?;
+        let elem = infer.resolve(&elem);
+        let r = infer_fun_applied_to(infer, scope, f, elem, "flatMap function")?;
+        let b = infer.fresh();
+        infer.unify(&r, &Type::list(b.clone()), "flatMap function result")?;
+        return Ok(Type::list(b));
+    }
     // Saturated `unfoldR(f)(seed)` with a λ step: the step's parameter type
     // comes from the *seed*, so infer the seed first and check the step
     // against it (chicken-and-egg otherwise: the λ's projections need the
@@ -672,6 +687,26 @@ mod tests {
             typecheck(&e, &env).unwrap(),
             Type::list(Type::tuple(vec![Type::Int, Type::Int]))
         );
+    }
+
+    #[test]
+    fn flat_map_over_zipped_partitions_typechecks() {
+        // The GRACE pipeline the *hash-part* rule emits: the λ's parameter
+        // is a pair of buckets, and its projections must resolve from the
+        // zipped source (regression: this used to fail with "cannot
+        // project component 1 out of `?t`", so no GRACE candidate ever
+        // survived the search's type filter).
+        let env = join_env();
+        let p = crate::parse(
+            "flatMap(\\q. for (x <- q.1) for (y <- q.2) if x.1 == y.1 then [<x, y>] else [])\
+             (unfoldR(zip[2])(<hashPartition[s0](R), hashPartition[s0](S)>))",
+        )
+        .unwrap();
+        let join_row = Type::tuple(vec![
+            Type::tuple(vec![Type::Int, Type::Int]),
+            Type::tuple(vec![Type::Int, Type::Int]),
+        ]);
+        assert_eq!(typecheck(&p, &env).unwrap(), Type::list(join_row));
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Emits the `BENCH_results.json` trajectory point: Table 1 rows, Figure 8
+//! points, the Figure 7 device constants, the cache-miss companion, and
+//! the real-I/O workloads (wall-clock + simulated seconds side by side).
+//!
+//! Usage: `cargo run --release -p ocas-bench --bin bench_json [-- OPTIONS]`
+//!
+//! * `--out <path>`      output file (default `BENCH_results.json`)
+//! * `--real-only`       skip the synthesis-heavy Table 1 / Figure 8 runs
+//! * `--real-scale <n>`  multiply the real-workload cardinalities
+//!
+//! `--real-only` is the mode CI's smoke job affords (seconds); the full
+//! document is regenerated manually per trajectory point.
+
+use ocas_bench::report::{bench_doc, real_workloads, validate_bench_doc};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_results.json".to_string();
+    let mut real_only = false;
+    let mut real_scale = 1u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a path").clone(),
+            "--real-only" => real_only = true,
+            "--real-scale" => {
+                real_scale = it
+                    .next()
+                    .expect("--real-scale needs a number")
+                    .parse()
+                    .expect("--real-scale needs a number")
+            }
+            other => {
+                eprintln!("unknown option `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut table1 = Vec::new();
+    let mut figure8 = Vec::new();
+    let mut cache = None;
+    if !real_only {
+        eprintln!("running Table 1 (16 synthesis + execution rows)…");
+        for e in ocas::experiments::table1() {
+            match e.run() {
+                Ok(row) => {
+                    eprintln!("  {:<40} ok", row.name);
+                    table1.push(row);
+                }
+                Err(err) => eprintln!("  {:<40} FAILED: {err}", e.name),
+            }
+        }
+        eprintln!("running Figure 8…");
+        match ocas::experiments::figure8() {
+            Ok(points) => figure8 = points,
+            Err(e) => eprintln!("  figure8 FAILED: {e}"),
+        }
+        eprintln!("running cache-miss comparison…");
+        match ocas::experiments::cache_miss_comparison() {
+            Ok(pair) => cache = Some(pair),
+            Err(e) => eprintln!("  cache-miss comparison FAILED: {e}"),
+        }
+    }
+
+    eprintln!("running real-I/O workloads (scale {real_scale})…");
+    let real = match real_workloads(real_scale) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("real-I/O workloads FAILED: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut diverged = false;
+    for r in &real {
+        eprintln!(
+            "  {:<34} wall={:.4}s sim={:.2}s rows={} match={}",
+            r.name,
+            r.report.wall_seconds,
+            r.report.sim_seconds,
+            r.report.output.len(),
+            r.report.outputs_match()
+        );
+        diverged |= !r.report.outputs_match();
+    }
+
+    let doc = bench_doc(&table1, &figure8, cache, &real);
+    validate_bench_doc(&doc).expect("generated document must satisfy its own schema");
+    std::fs::write(&out_path, doc.pretty()).expect("write BENCH json");
+    eprintln!("wrote {out_path}");
+    if diverged {
+        eprintln!("FAIL: a real-I/O run disagreed with the simulator (see match=false above)");
+        std::process::exit(1);
+    }
+}

@@ -3,6 +3,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+pub mod report;
+
 use ocas::experiments::Row;
 
 /// Formats seconds for table display.

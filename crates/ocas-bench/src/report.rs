@@ -1,0 +1,250 @@
+//! Building and validating the `BENCH_*.json` trajectory document.
+//!
+//! One schema'd JSON file records everything the reproduction binaries
+//! measure: the Table 1 rows, the Figure 8 points, the cache-miss
+//! companion, and the real-I/O workloads with wall-clock and simulated
+//! seconds side by side.
+
+use crate::json::Json;
+use ocas::experiments::{Fig8Point, Row};
+use ocas_engine::{JoinPred, Output, Plan, RelSpec};
+use ocas_hierarchy::presets;
+use ocas_runtime::{RealReport, Runtime, RuntimeError};
+
+/// The document's schema tag; bump on breaking layout changes.
+pub const SCHEMA: &str = "ocas-bench/v1";
+
+/// One named real-I/O measurement.
+pub struct RealRow {
+    /// Workload name.
+    pub name: String,
+    /// The measured report.
+    pub report: RealReport,
+}
+
+fn row_json(r: &Row) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(&r.name)),
+        ("spec_seconds", Json::num(r.spec_seconds)),
+        ("opt_seconds", Json::num(r.opt_seconds)),
+        ("act_seconds", Json::num(r.act_seconds)),
+        ("search_space", Json::num(r.search_space as f64)),
+        ("steps", Json::num(r.steps as f64)),
+        ("ocas_seconds", Json::num(r.ocas_seconds)),
+        ("best_program", Json::str(&r.best_program)),
+    ])
+}
+
+fn fig8_json(p: &Fig8Point) -> Json {
+    Json::obj(vec![
+        ("panel", Json::str(p.panel)),
+        ("label", Json::str(&p.label)),
+        ("estimated_seconds", Json::num(p.estimated)),
+        ("measured_seconds", Json::num(p.measured)),
+    ])
+}
+
+fn real_json(r: &RealRow) -> Json {
+    let bytes_read: u64 = r
+        .report
+        .real_devices
+        .iter()
+        .map(|(_, s)| s.bytes_read)
+        .sum();
+    let bytes_written: u64 = r
+        .report
+        .real_devices
+        .iter()
+        .map(|(_, s)| s.bytes_written)
+        .sum();
+    let (pool_hits, pool_misses) = r
+        .report
+        .pools
+        .iter()
+        .fold((0u64, 0u64), |(h, m), (_, p)| (h + p.hits, m + p.misses));
+    Json::obj(vec![
+        ("name", Json::str(&r.name)),
+        ("wall_seconds", Json::num(r.report.wall_seconds)),
+        ("io_seconds", Json::num(r.report.io_seconds)),
+        ("sim_seconds", Json::num(r.report.sim_seconds)),
+        ("output_rows", Json::num(r.report.output.len() as f64)),
+        ("outputs_match", Json::Bool(r.report.outputs_match())),
+        ("bytes_read", Json::num(bytes_read as f64)),
+        ("bytes_written", Json::num(bytes_written as f64)),
+        ("pool_hits", Json::num(pool_hits as f64)),
+        ("pool_misses", Json::num(pool_misses as f64)),
+    ])
+}
+
+/// Figure 7 device constants (sizes and page sizes of the paper platform).
+fn figures_json() -> Json {
+    let h = presets::paper_platform(32 << 20);
+    let devices: Vec<Json> = h
+        .ids()
+        .map(|id| {
+            let n = h.node(id);
+            Json::obj(vec![
+                ("name", Json::str(&n.name)),
+                ("size_bytes", Json::num(n.size as f64)),
+                ("pagesize_bytes", Json::num(n.pagesize as f64)),
+            ])
+        })
+        .collect();
+    Json::obj(vec![("paper_platform_devices", Json::Arr(devices))])
+}
+
+/// Assembles the full document.
+pub fn bench_doc(
+    table1: &[Row],
+    figure8: &[Fig8Point],
+    cache_misses: Option<(u64, u64)>,
+    real: &[RealRow],
+) -> Json {
+    let mut pairs = vec![
+        ("schema", Json::str(SCHEMA)),
+        ("table1", Json::Arr(table1.iter().map(row_json).collect())),
+        (
+            "figure8",
+            Json::Arr(figure8.iter().map(fig8_json).collect()),
+        ),
+        ("figures", figures_json()),
+        ("real", Json::Arr(real.iter().map(real_json).collect())),
+    ];
+    if let Some((untiled, tiled)) = cache_misses {
+        pairs.insert(
+            4,
+            (
+                "cache_misses",
+                Json::obj(vec![
+                    ("untiled", Json::num(untiled as f64)),
+                    ("tiled", Json::num(tiled as f64)),
+                ]),
+            ),
+        );
+    }
+    Json::obj(pairs)
+}
+
+/// Checks a document against the `ocas-bench/v1` schema. Sections may be
+/// empty arrays (a partial regeneration) but must be present and
+/// well-typed; every `real` entry must carry both clocks.
+pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing `schema`")?;
+    if schema != SCHEMA {
+        return Err(format!("schema `{schema}` is not `{SCHEMA}`"));
+    }
+    let sections: [(&str, &[&str]); 3] = [
+        (
+            "table1",
+            &[
+                "name",
+                "spec_seconds",
+                "opt_seconds",
+                "act_seconds",
+                "search_space",
+            ],
+        ),
+        (
+            "figure8",
+            &["panel", "label", "estimated_seconds", "measured_seconds"],
+        ),
+        (
+            "real",
+            &[
+                "name",
+                "wall_seconds",
+                "io_seconds",
+                "sim_seconds",
+                "output_rows",
+                "outputs_match",
+                "bytes_read",
+                "bytes_written",
+            ],
+        ),
+    ];
+    for (section, fields) in sections {
+        let arr = doc
+            .get(section)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("missing array `{section}`"))?;
+        for (i, entry) in arr.iter().enumerate() {
+            for field in fields {
+                let v = entry
+                    .get(field)
+                    .ok_or_else(|| format!("{section}[{i}] missing `{field}`"))?;
+                let ok = match *field {
+                    "name" | "panel" | "label" | "best_program" => v.as_str().is_some(),
+                    "outputs_match" => matches!(v, Json::Bool(_)),
+                    _ => v.as_num().is_some(),
+                };
+                if !ok {
+                    return Err(format!("{section}[{i}].{field} has the wrong type"));
+                }
+            }
+        }
+    }
+    doc.get("figures")
+        .and_then(|f| f.get("paper_platform_devices"))
+        .and_then(Json::as_arr)
+        .ok_or("missing `figures.paper_platform_devices`")?;
+    Ok(())
+}
+
+/// The real-I/O workloads the trajectory tracks: a GRACE hash join and a
+/// 2ᵏ-way external merge-sort at faithful scale (`scale` multiplies the
+/// base cardinalities; 1 is a sub-second smoke size).
+pub fn real_workloads(scale: u64) -> Result<Vec<RealRow>, RuntimeError> {
+    let scale = scale.max(1);
+    let h = presets::hdd_ram(8 << 20);
+    let rt = Runtime::new(h);
+
+    let grace = rt.run_plan(
+        &Plan::GraceJoin {
+            left: 0,
+            right: 1,
+            partitions: 16,
+            buffer_bytes: 1 << 14,
+            spill: "HDD".into(),
+            pred: JoinPred::KeyEq,
+            output: Output::ToDevice {
+                device: "HDD".into(),
+                buffer_bytes: 1 << 14,
+            },
+        },
+        &[
+            RelSpec::pairs("R", "HDD", 4000 * scale).with_key_range(500 * scale),
+            RelSpec::pairs("S", "HDD", 2500 * scale).with_key_range(500 * scale),
+        ],
+        1,
+    )?;
+
+    let sort = rt.run_plan(
+        &Plan::ExternalSort {
+            input: 0,
+            fan_in: 8,
+            b_in: 64,
+            b_out: 256,
+            scratch: "HDD".into(),
+            output: Output::ToDevice {
+                device: "HDD".into(),
+                buffer_bytes: 1 << 14,
+            },
+        },
+        &[RelSpec::ints("L", "HDD", 20_000 * scale)],
+        2,
+    )?;
+
+    Ok(vec![
+        RealRow {
+            name: "grace-hash-join (real I/O)".into(),
+            report: grace,
+        },
+        RealRow {
+            name: "external-merge-sort (real I/O)".into(),
+            report: sort,
+        },
+    ])
+}

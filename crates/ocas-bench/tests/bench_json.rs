@@ -1,0 +1,64 @@
+//! The `BENCH_*.json` trajectory schema, checked two ways: a freshly
+//! generated document (real-I/O section at smoke scale) must validate, and
+//! the committed `BENCH_results.json` at the repo root must still parse
+//! and validate (the file is a trajectory point — regenerate it with
+//! `cargo run --release -p ocas-bench --bin bench_json`, don't hand-edit).
+
+use ocas_bench::json::Json;
+use ocas_bench::report::{bench_doc, real_workloads, validate_bench_doc, SCHEMA};
+
+#[test]
+fn fresh_real_document_validates() {
+    let real = real_workloads(1).expect("real workloads");
+    assert_eq!(real.len(), 2);
+    for r in &real {
+        assert!(
+            r.report.outputs_match(),
+            "{}: real and simulated outputs must agree",
+            r.name
+        );
+        assert!(r.report.wall_seconds > 0.0);
+        assert!(r.report.sim_seconds > 0.0);
+    }
+    let doc = bench_doc(&[], &[], None, &real);
+    validate_bench_doc(&doc).expect("schema");
+    // And it survives a serialization round trip.
+    let back = Json::parse(&doc.pretty()).expect("parse back");
+    validate_bench_doc(&back).expect("schema after round trip");
+    assert_eq!(back.get("schema").unwrap().as_str(), Some(SCHEMA));
+}
+
+#[test]
+fn committed_trajectory_point_validates() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_results.json");
+    let text = std::fs::read_to_string(path)
+        .expect("BENCH_results.json missing at repo root — regenerate with bench_json");
+    let doc = Json::parse(&text).expect("parse committed BENCH_results.json");
+    validate_bench_doc(&doc).expect("committed document satisfies the schema");
+    // The trajectory point must carry the real-I/O numbers.
+    let real = doc.get("real").unwrap().as_arr().unwrap();
+    assert!(!real.is_empty(), "no real-I/O entries recorded");
+    for entry in real {
+        assert_eq!(
+            entry.get("outputs_match"),
+            Some(&Json::Bool(true)),
+            "recorded real run disagreed with the simulator"
+        );
+    }
+    // And the full table (16 rows) from the committed regeneration.
+    assert_eq!(doc.get("table1").unwrap().as_arr().unwrap().len(), 16);
+}
+
+#[test]
+fn validator_rejects_malformed_documents() {
+    let bad = Json::obj(vec![("schema", Json::str("something/else"))]);
+    assert!(validate_bench_doc(&bad).is_err());
+    let missing_field = Json::parse(
+        r#"{"schema": "ocas-bench/v1", "table1": [], "figure8": [],
+            "figures": {"paper_platform_devices": []},
+            "real": [{"name": "x"}]}"#,
+    )
+    .unwrap();
+    let err = validate_bench_doc(&missing_field).unwrap_err();
+    assert!(err.contains("real[0]"), "{err}");
+}

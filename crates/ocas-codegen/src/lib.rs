@@ -180,41 +180,59 @@ impl EmitCx<'_> {
 
     fn emit_top(&mut self, e: &Expr) -> Result<String, CodegenError> {
         match e {
-            // The order-inputs wrapper: emit a runtime swap.
-            Expr::App { func, arg } => {
-                if let (Expr::Lam { param, body }, Expr::If { .. }) = (&**func, &**arg) {
+            // Lambda-wrapper applications, including curried spines
+            // `((λa. λb. body)(x))(y)` (the single-argument assumption here
+            // used to reject curried wrappers): β-substitute plain
+            // arguments; the order-inputs selector becomes a runtime swap.
+            Expr::App { .. } => {
+                if let Some((bindings, inner)) = e.applied_lambda_spine() {
                     let mut out = String::new();
-                    let p = self.pad();
-                    // Bind q.1/q.2 to the length-ordered pair.
-                    let names: Vec<String> = self.widths.keys().cloned().collect();
-                    if names.len() != 2 {
-                        return Err(CodegenError::Unsupported(
-                            "order-inputs needs two inputs".into(),
-                        ));
+                    let mut body = inner.clone();
+                    for (param, arg) in bindings {
+                        if matches!(arg, Expr::If { .. }) {
+                            // The order-inputs wrapper: emit a runtime swap
+                            // and bind q.1/q.2 to the length-ordered pair.
+                            let p = self.pad();
+                            let names: Vec<String> = self.widths.keys().cloned().collect();
+                            if names.len() != 2 {
+                                return Err(CodegenError::Unsupported(
+                                    "order-inputs needs two inputs".into(),
+                                ));
+                            }
+                            let _ = writeln!(out, "{p}/* order-inputs: smaller relation first */");
+                            let _ = writeln!(
+                                out,
+                                "{p}if ({a}.len > {b}.len) \
+                                 {{ rel_t t = {a}; {a} = {b}; {b} = t; }}",
+                                a = names[0],
+                                b = names[1]
+                            );
+                            body = body.subst(
+                                param,
+                                &Expr::tuple(vec![
+                                    Expr::var(names[0].clone()),
+                                    Expr::var(names[1].clone()),
+                                ]),
+                            );
+                        } else {
+                            body = body.subst(param, arg);
+                        }
                     }
-                    let _ = writeln!(out, "{p}/* order-inputs: smaller relation first */");
-                    let _ = writeln!(
-                        out,
-                        "{p}if ({a}.len > {b}.len) {{ rel_t t = {a}; {a} = {b}; {b} = t; }}",
-                        a = names[0],
-                        b = names[1]
-                    );
-                    // Substitute the projections back to the (now ordered)
-                    // inputs and continue with the body.
-                    let body = body
-                        .subst(
-                            param,
-                            &Expr::tuple(vec![
-                                Expr::var(names[0].clone()),
-                                Expr::var(names[1].clone()),
-                            ]),
-                        )
-                        .clone();
                     let simplified = simplify_projections(&body);
                     out.push_str(&self.emit_top(&simplified)?);
                     return Ok(out);
                 }
-                // avg / fold aggregates.
+                // Lambda heads that are not fully applied are outside the
+                // fragment; everything else falls to the aggregate shapes.
+                let mut head = e;
+                while let Expr::App { func, .. } = head {
+                    head = func;
+                }
+                if matches!(head, Expr::Lam { .. }) {
+                    return Err(CodegenError::Unsupported(
+                        "partially- or over-applied lambda wrapper".into(),
+                    ));
+                }
                 self.emit_aggregate(e)
             }
             Expr::For { .. } => self.emit_loop_nest(e),
@@ -655,6 +673,19 @@ mod tests {
         let c = gen().emit_program(&p, &join_inputs()).unwrap();
         assert!(c.contains("order-inputs"), "{c}");
         assert!(c.contains("rel_t t = R"), "{c}");
+    }
+
+    #[test]
+    fn emits_curried_wrapper_join() {
+        // Curried-application regression: a fully-applied two-argument
+        // wrapper β-substitutes into the same join loops.
+        let p = parse(
+            "((\\a. \\b. for (x <- a) for (y <- b) if x.1 == y.1 then [<x, y>] else [])(R))(S)",
+        )
+        .unwrap();
+        let c = gen().emit_program(&p, &join_inputs()).unwrap();
+        assert!(c.contains("for (size_t i1 = 0; i1 < R.len; i1++)"), "{c}");
+        assert!(c.contains("for (size_t i2 = 0; i2 < S.len; i2++)"), "{c}");
     }
 
     #[test]

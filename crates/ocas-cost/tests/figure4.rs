@@ -312,3 +312,44 @@ fn column_store_read_is_one_sequential_pass() {
     // Result: [<1,1>]_n.
     assert_eq!(report.result.card().unwrap(), v("n"));
 }
+
+/// Curried-application regression for the event analysis (the companion of
+/// `app_size`'s fix in `size.rs`): a fully-applied curried wrapper
+/// `((λa. λb. body)(R))(S)` must cost exactly like the unwrapped body —
+/// `cost_app_lam` binds every spine argument, not just the first.
+#[test]
+fn curried_wrapper_costs_like_the_unwrapped_body() {
+    let h = figure4_hierarchy();
+    let mut annots = BTreeMap::new();
+    annots.insert("R".to_string(), Annot::relation(v("x"), 1, 1));
+    annots.insert("S".to_string(), Annot::relation(v("y"), 1, 1));
+    let layout = Layout::all_inputs_on("HDD", &["R", "S"]);
+    let stats = Env::new().with("x", 1000.0).with("y", 100.0);
+    let engine = CostEngine::new(&h, &layout, annots, stats, 1).unwrap();
+
+    let plain = parse(
+        "for (xB [k1] <- R) for (yB [k2] <- S) for (x <- xB) for (y <- yB) \
+         if x == y then [<x, y>] else []",
+    )
+    .unwrap();
+    let curried = parse(
+        "((\\a. \\b. for (xB [k1] <- a) for (yB [k2] <- b) for (x <- xB) for (y <- yB) \
+         if x == y then [<x, y>] else [])(R))(S)",
+    )
+    .unwrap();
+
+    let plain_report = engine.cost(&plain).unwrap();
+    let curried_report = engine.cost(&curried).unwrap();
+    let ram = h.by_name("RAM").unwrap();
+    let hdd = h.by_name("HDD").unwrap();
+    assert_eq!(
+        plain_report.events.edge(hdd, ram).bytes,
+        curried_report.events.edge(hdd, ram).bytes,
+        "curried wrapper must not change the read bytes"
+    );
+    assert_eq!(
+        plain_report.events.edge(hdd, ram).init,
+        curried_report.events.edge(hdd, ram).init,
+    );
+    assert_eq!(plain_report.seconds, curried_report.seconds);
+}

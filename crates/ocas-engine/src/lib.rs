@@ -29,4 +29,4 @@ pub mod rel;
 pub use exec::{ExecError, ExecStats, Executor};
 pub use lower::{lower, LowerError, WorkloadHint};
 pub use plan::{CpuModel, JoinPred, MergeKind, Mode, Output, Plan};
-pub use rel::{RelSpec, Relation, Row};
+pub use rel::{decode_rows, encode_rows, RelSpec, Relation, Row};

@@ -127,13 +127,17 @@ fn contains_length_selector(e: &Expr) -> bool {
 }
 
 fn strip_wrappers(e: &Expr) -> &Expr {
-    // Unwrap the order-inputs application: (λq. body)(selector).
-    if let Expr::App { func, .. } = e {
-        if let Expr::Lam { body, .. } = &**func {
-            return strip_wrappers(body);
-        }
+    // Unwrap (possibly curried) lambda-wrapper applications: both the
+    // order-inputs form `(λq. body)(selector)` and a fully-applied spine
+    // `((λa. λb. body)(x))(y)` peel down to `body`. (Regression: the
+    // single-argument version silently left curried wrappers in place, so
+    // their loop nests were unrecognizable — the same assumption class as
+    // the `app_size` β-reduction fix in ocas-cost.)
+    let mut cur = e;
+    while let Some((_, body)) = cur.applied_lambda_spine() {
+        cur = body;
     }
-    e
+    cur
 }
 
 fn first_unfoldr(e: &Expr) -> Option<(&BlockSize, &BlockSize)> {
@@ -455,6 +459,22 @@ mod tests {
                 assert_eq!((t.outer, t.inner), (128, 64));
             }
             other => panic!("expected tiled BNL, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lowers_curried_wrapped_bnl() {
+        // A fully-applied curried wrapper around the blocked loops must
+        // peel just like the single-argument order-inputs wrapper.
+        let p = parse(
+            "((\\a. \\b. for (xB [k0] <- a) for (yB [k1] <- b) for (x <- xB) for (y <- yB) \
+             if x.1 == y.1 then [<x, y>] else [])(R))(S)",
+        )
+        .unwrap();
+        let plan = lower(&p, WorkloadHint::Join { cross: false }, &cx_two()).unwrap();
+        match plan {
+            Plan::BnlJoin { k1, k2, .. } => assert_eq!((k1, k2), (512, 256)),
+            other => panic!("expected BNL through the curried wrapper, got {other:?}"),
         }
     }
 

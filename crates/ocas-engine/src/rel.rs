@@ -1,11 +1,40 @@
 //! Relations: on-device extents of fixed-width integer tuples.
 
-use ocas_storage::{FileId, StorageError, StorageSim};
+use ocas_storage::{FileId, StorageBackend, StorageError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// A row of 64-bit integers.
 pub type Row = Vec<i64>;
+
+/// Serializes rows as little-endian `i64` columns, row-major — the on-disk
+/// tuple format shared by the simulator's accounting, the real-I/O backend
+/// and the generated C programs' input files.
+pub fn encode_rows(rows: &[Row]) -> Vec<u8> {
+    let width = rows.first().map_or(0, |r| r.len());
+    let mut out = Vec::with_capacity(rows.len() * width * 8);
+    for row in rows {
+        for col in row {
+            out.extend_from_slice(&col.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_rows`] for a known tuple width (in columns).
+pub fn decode_rows(bytes: &[u8], width: usize) -> Vec<Row> {
+    assert!(width > 0, "zero-width tuples");
+    let row_bytes = width * 8;
+    bytes
+        .chunks_exact(row_bytes)
+        .map(|chunk| {
+            chunk
+                .chunks_exact(8)
+                .map(|c| i64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                .collect()
+        })
+        .collect()
+}
 
 /// Declarative description of a relation to allocate/generate.
 #[derive(Debug, Clone)]
@@ -92,8 +121,12 @@ pub struct Relation {
 
 impl Relation {
     /// Allocates a relation per `spec`; generates rows when `faithful`.
-    pub fn create(
-        sm: &mut StorageSim,
+    ///
+    /// In faithful mode the generated rows are also *materialized* into the
+    /// backing file (uncharged setup writes): the simulator discards them,
+    /// while a real backend ends up with genuine tuple bytes on disk.
+    pub fn create<B: StorageBackend>(
+        sm: &mut B,
         spec: &RelSpec,
         faithful: bool,
         seed: u64,
@@ -117,6 +150,17 @@ impl Relation {
             if spec.sorted {
                 rows.sort();
             }
+            // Columns narrower than 8 bytes are truncated to the declared
+            // width — the in-memory rows stay authoritative; the file holds
+            // the on-disk representation.
+            let cb = spec.col_bytes.clamp(1, 8) as usize;
+            let mut encoded = Vec::with_capacity((bytes.min(1 << 30)) as usize);
+            for row in &rows {
+                for col in row {
+                    encoded.extend_from_slice(&col.to_le_bytes()[..cb]);
+                }
+            }
+            sm.materialize(file, 0, &encoded)?;
             Some(rows)
         } else {
             None
@@ -142,9 +186,9 @@ impl Relation {
 
     /// Reads a block of `count` tuples starting at tuple `index`, charging
     /// the device; returns the actual count read.
-    pub fn read_block(
+    pub fn read_block<B: StorageBackend>(
         &self,
-        sm: &mut StorageSim,
+        sm: &mut B,
         index: u64,
         count: u64,
     ) -> Result<u64, StorageError> {
@@ -172,6 +216,16 @@ impl Relation {
 mod tests {
     use super::*;
     use ocas_hierarchy::presets;
+    use ocas_storage::StorageSim;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let rows: Vec<Row> = vec![vec![1, -2], vec![i64::MAX, i64::MIN], vec![0, 42]];
+        let bytes = encode_rows(&rows);
+        assert_eq!(bytes.len(), 3 * 2 * 8);
+        assert_eq!(decode_rows(&bytes, 2), rows);
+        assert!(decode_rows(&[], 1).is_empty());
+    }
 
     #[test]
     fn create_and_read_blocks() {

@@ -1,0 +1,418 @@
+//! Genuinely out-of-core algorithm implementations over the real backend.
+//!
+//! The engine's faithful mode computes results in memory and *accounts* the
+//! out-of-core I/O; these implementations do the opposite of a shortcut:
+//! the 2ᵏ-way external merge-sort really forms sorted runs on the scratch
+//! device and merges them `fan_in` at a time through bounded buffers, and
+//! the GRACE hash join really spills partition files and joins co-buckets
+//! read back from disk. Every byte they touch flows through the
+//! [`FileBackend`]'s buffer pools onto actual temp files.
+
+use crate::backend::FileBackend;
+use ocas_engine::{decode_rows, encode_rows, Output, Relation, Row};
+use ocas_storage::{FileId, StorageBackend, StorageError};
+use std::collections::BTreeMap;
+
+/// Algorithm failures.
+#[derive(Debug)]
+pub enum AlgoError {
+    /// Storage-level failure.
+    Storage(StorageError),
+    /// The relation layout is outside what the real path supports.
+    Unsupported(&'static str),
+}
+
+impl std::fmt::Display for AlgoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlgoError::Storage(e) => write!(f, "storage error: {e}"),
+            AlgoError::Unsupported(what) => write!(f, "unsupported by real backend: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgoError {}
+
+impl From<StorageError> for AlgoError {
+    fn from(e: StorageError) -> AlgoError {
+        AlgoError::Storage(e)
+    }
+}
+
+fn check_width(rel: &Relation) -> Result<usize, AlgoError> {
+    let w = rel.width as usize;
+    if w == 0 || rel.tuple_bytes != w as u64 * 8 {
+        return Err(AlgoError::Unsupported(
+            "real algorithms need 8-byte columns",
+        ));
+    }
+    Ok(w)
+}
+
+/// A buffered output writer: rows are encoded into a `buffer_bytes` buffer
+/// and flushed to fresh extents on the output device (sequential, the bump
+/// allocator keeps flushes contiguous). `Discard` outputs skip the device
+/// but rows are still collected for verification.
+struct RealSink {
+    output: Output,
+    buffer: Vec<u8>,
+    cap: usize,
+    collected: Vec<Row>,
+}
+
+impl RealSink {
+    fn new(output: &Output, tuple_bytes: u64) -> RealSink {
+        let cap = match output {
+            Output::ToDevice { buffer_bytes, .. } => (*buffer_bytes).max(tuple_bytes) as usize,
+            Output::Discard => 0,
+        };
+        RealSink {
+            output: output.clone(),
+            buffer: Vec::with_capacity(cap),
+            cap,
+            collected: Vec::new(),
+        }
+    }
+
+    fn emit(&mut self, fb: &mut FileBackend, row: Row) -> Result<(), AlgoError> {
+        if let Output::ToDevice { .. } = self.output {
+            self.buffer
+                .extend_from_slice(&encode_rows(std::slice::from_ref(&row)));
+            if self.buffer.len() >= self.cap {
+                self.flush(fb)?;
+            }
+        }
+        self.collected.push(row);
+        Ok(())
+    }
+
+    fn flush(&mut self, fb: &mut FileBackend) -> Result<(), AlgoError> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        if let Output::ToDevice { device, .. } = &self.output {
+            let f = fb.alloc(device, self.buffer.len() as u64)?;
+            fb.write_bytes(f, 0, &self.buffer)?;
+            self.buffer.clear();
+        }
+        Ok(())
+    }
+
+    fn finish(mut self, fb: &mut FileBackend) -> Result<Vec<Row>, AlgoError> {
+        self.flush(fb)?;
+        Ok(self.collected)
+    }
+}
+
+/// One sorted run on the scratch device.
+struct RunFile {
+    file: FileId,
+    card: u64,
+}
+
+/// A buffered cursor over one sorted run (the merge's per-input buffer).
+struct RunReader {
+    file: FileId,
+    card: u64,
+    width: usize,
+    next: u64,
+    buf: Vec<Row>,
+    buf_pos: usize,
+    b_in: u64,
+}
+
+impl RunReader {
+    fn new(run: &RunFile, width: usize, b_in: u64) -> RunReader {
+        RunReader {
+            file: run.file,
+            card: run.card,
+            width,
+            next: 0,
+            buf: Vec::new(),
+            buf_pos: 0,
+            b_in: b_in.max(1),
+        }
+    }
+
+    fn refill(&mut self, fb: &mut FileBackend) -> Result<(), AlgoError> {
+        let remaining = self.card - self.next;
+        let take = self.b_in.min(remaining);
+        if take == 0 {
+            self.buf.clear();
+            self.buf_pos = 0;
+            return Ok(());
+        }
+        let tb = self.width as u64 * 8;
+        let mut bytes = vec![0u8; (take * tb) as usize];
+        fb.read_into(self.file, self.next * tb, &mut bytes)?;
+        self.buf = decode_rows(&bytes, self.width);
+        self.buf_pos = 0;
+        self.next += take;
+        Ok(())
+    }
+
+    /// Refills the buffer if it is exhausted and tuples remain on disk.
+    fn ensure(&mut self, fb: &mut FileBackend) -> Result<(), AlgoError> {
+        if self.buf_pos >= self.buf.len() && self.next < self.card {
+            self.refill(fb)?;
+        }
+        Ok(())
+    }
+
+    /// The buffered head row, by reference (no I/O — call `ensure` first).
+    fn head(&self) -> Option<&Row> {
+        self.buf.get(self.buf_pos)
+    }
+
+    /// Takes the buffered head row without cloning it.
+    fn take_row(&mut self) -> Option<Row> {
+        if self.buf_pos < self.buf.len() {
+            let row = std::mem::take(&mut self.buf[self.buf_pos]);
+            self.buf_pos += 1;
+            Some(row)
+        } else {
+            None
+        }
+    }
+}
+
+/// Runs a real 2ᵏ-way external merge-sort: sorted run formation on the
+/// scratch device, then `fan_in`-way merge passes with `b_in`-tuple input
+/// buffers and a `b_out`-tuple output buffer, finally streaming the sorted
+/// result to `output`. Returns the sorted rows (read back uncharged).
+#[allow(clippy::too_many_arguments)]
+pub fn external_sort(
+    fb: &mut FileBackend,
+    input: &Relation,
+    fan_in: u64,
+    b_in: u64,
+    b_out: u64,
+    scratch: &str,
+    output: &Output,
+) -> Result<Vec<Row>, AlgoError> {
+    let width = check_width(input)?;
+    let tb = input.tuple_bytes;
+    let fan_in = fan_in.max(2);
+    let (b_in, b_out) = (b_in.max(1), b_out.max(1));
+
+    // Run formation under the merge's memory footprint: fan_in input
+    // buffers plus the output buffer.
+    let run_tuples = (fan_in * b_in + b_out).max(1);
+    let mut runs: Vec<RunFile> = Vec::new();
+    let mut at = 0u64;
+    while at < input.card {
+        let take = run_tuples.min(input.card - at);
+        let mut bytes = vec![0u8; (take * tb) as usize];
+        fb.read_into(input.file, at * tb, &mut bytes)?;
+        let mut rows = decode_rows(&bytes, width);
+        rows.sort();
+        let run = fb.alloc(scratch, (take * tb).max(1))?;
+        fb.write_bytes(run, 0, &encode_rows(&rows))?;
+        runs.push(RunFile {
+            file: run,
+            card: take,
+        });
+        at += take;
+    }
+
+    // Merge passes: fan_in runs at a time until one run remains.
+    while runs.len() > 1 {
+        let mut next: Vec<RunFile> = Vec::new();
+        for group in runs.chunks(fan_in as usize) {
+            if group.len() == 1 {
+                next.push(RunFile {
+                    file: group[0].file,
+                    card: group[0].card,
+                });
+                continue;
+            }
+            let total: u64 = group.iter().map(|r| r.card).sum();
+            let merged = fb.alloc(scratch, (total * tb).max(1))?;
+            let mut readers: Vec<RunReader> = group
+                .iter()
+                .map(|r| RunReader::new(r, width, b_in))
+                .collect();
+            let mut out_buf: Vec<Row> = Vec::with_capacity(b_out as usize);
+            let mut written = 0u64;
+            loop {
+                // Refill exhausted buffers, then pick the smallest head by
+                // reference (no clones on this hot path; first reader wins
+                // ties, keeping the merge stable).
+                for r in readers.iter_mut() {
+                    r.ensure(fb)?;
+                }
+                let mut best: Option<usize> = None;
+                for (i, r) in readers.iter().enumerate() {
+                    if let Some(head) = r.head() {
+                        let better = match best {
+                            Some(b) => head < readers[b].head().expect("best has a head"),
+                            None => true,
+                        };
+                        if better {
+                            best = Some(i);
+                        }
+                    }
+                }
+                let Some(i) = best else { break };
+                let row = readers[i].take_row().expect("ensured head");
+                out_buf.push(row);
+                if out_buf.len() as u64 >= b_out {
+                    fb.write_bytes(merged, written * tb, &encode_rows(&out_buf))?;
+                    written += out_buf.len() as u64;
+                    out_buf.clear();
+                }
+            }
+            if !out_buf.is_empty() {
+                fb.write_bytes(merged, written * tb, &encode_rows(&out_buf))?;
+                written += out_buf.len() as u64;
+                out_buf.clear();
+            }
+            debug_assert_eq!(written, total);
+            next.push(RunFile {
+                file: merged,
+                card: total,
+            });
+        }
+        runs = next;
+    }
+
+    // Stream the final run to the output destination.
+    let mut result = Vec::new();
+    if let Some(last) = runs.first() {
+        if let Output::ToDevice { device, .. } = output {
+            let out_file = fb.alloc(device, (last.card * tb).max(1))?;
+            let chunk = b_out.max(1);
+            let mut at = 0u64;
+            while at < last.card {
+                let take = chunk.min(last.card - at);
+                let mut bytes = vec![0u8; (take * tb) as usize];
+                fb.read_into(last.file, at * tb, &mut bytes)?;
+                fb.write_bytes(out_file, at * tb, &bytes)?;
+                at += take;
+            }
+        }
+        // Harvest (uncharged) for verification.
+        let mut bytes = vec![0u8; (last.card * tb) as usize];
+        fb.peek(last.file, 0, &mut bytes)?;
+        result = decode_rows(&bytes, width);
+    }
+    Ok(result)
+}
+
+/// One side's partition files after the GRACE partition pass.
+struct Partitions {
+    /// Spilled extents per bucket, in spill order.
+    extents: Vec<Vec<(FileId, u64)>>,
+}
+
+fn partition_side(
+    fb: &mut FileBackend,
+    rel: &Relation,
+    partitions: u64,
+    buffer_bytes: u64,
+    spill: &str,
+) -> Result<Partitions, AlgoError> {
+    let width = check_width(rel)?;
+    let tb = rel.tuple_bytes;
+    let block = (buffer_bytes / tb).max(1);
+    let per_bucket_buf = (buffer_bytes / partitions.max(1)).max(tb);
+    let mut buckets: Vec<Vec<u8>> = vec![Vec::new(); partitions as usize];
+    let mut parts = Partitions {
+        extents: vec![Vec::new(); partitions as usize],
+    };
+    let mut at = 0u64;
+    while at < rel.card {
+        let take = block.min(rel.card - at);
+        let mut bytes = vec![0u8; (take * tb) as usize];
+        fb.read_into(rel.file, at * tb, &mut bytes)?;
+        for row in decode_rows(&bytes, width) {
+            let key = row.first().copied().unwrap_or(0);
+            // Same bucket function as the simulator and the OCAL
+            // `hashPartition` definition: identical bucket contents.
+            let b = (ocal::stable_hash(&ocal::Value::Int(key)) % partitions) as usize;
+            buckets[b].extend_from_slice(&encode_rows(std::slice::from_ref(&row)));
+            if buckets[b].len() as u64 >= per_bucket_buf {
+                let f = fb.alloc(spill, buckets[b].len() as u64)?;
+                fb.write_bytes(f, 0, &buckets[b])?;
+                parts.extents[b].push((f, buckets[b].len() as u64));
+                buckets[b].clear();
+            }
+        }
+        at += take;
+    }
+    for (b, buf) in buckets.iter().enumerate() {
+        if !buf.is_empty() {
+            let f = fb.alloc(spill, buf.len() as u64)?;
+            fb.write_bytes(f, 0, buf)?;
+            parts.extents[b].push((f, buf.len() as u64));
+        }
+    }
+    Ok(parts)
+}
+
+fn read_bucket(
+    fb: &mut FileBackend,
+    extents: &[(FileId, u64)],
+    width: usize,
+) -> Result<Vec<Row>, AlgoError> {
+    let mut rows = Vec::new();
+    for (file, bytes) in extents {
+        let mut buf = vec![0u8; *bytes as usize];
+        fb.read_into(*file, 0, &mut buf)?;
+        rows.extend(decode_rows(&buf, width));
+    }
+    Ok(rows)
+}
+
+/// Runs a real GRACE hash join: both relations are hash-partitioned into
+/// `partitions` spill files on the `spill` device, then each co-bucket pair
+/// is read back and joined in memory (build on the left, probe with the
+/// right), results flowing through a buffered writer to `output`. Returns
+/// the joined rows.
+#[allow(clippy::too_many_arguments)]
+pub fn grace_join(
+    fb: &mut FileBackend,
+    left: &Relation,
+    right: &Relation,
+    partitions: u64,
+    buffer_bytes: u64,
+    spill: &str,
+    cross: bool,
+    output: &Output,
+) -> Result<Vec<Row>, AlgoError> {
+    let lw = check_width(left)?;
+    let rw = check_width(right)?;
+    let partitions = partitions.max(1);
+    let lparts = partition_side(fb, left, partitions, buffer_bytes, spill)?;
+    let rparts = partition_side(fb, right, partitions, buffer_bytes, spill)?;
+
+    let mut sink = RealSink::new(output, left.tuple_bytes + right.tuple_bytes);
+    for b in 0..partitions as usize {
+        let lb = read_bucket(fb, &lparts.extents[b], lw)?;
+        let rb = read_bucket(fb, &rparts.extents[b], rw)?;
+        if cross {
+            for y in &rb {
+                for x in &lb {
+                    let mut row = x.clone();
+                    row.extend_from_slice(y);
+                    sink.emit(fb, row)?;
+                }
+            }
+        } else {
+            let mut table: BTreeMap<i64, Vec<&Row>> = BTreeMap::new();
+            for row in &lb {
+                table.entry(row[0]).or_default().push(row);
+            }
+            for y in &rb {
+                if let Some(matches) = table.get(&y[0]) {
+                    for x in matches {
+                        let mut row = (*x).clone();
+                        row.extend_from_slice(y);
+                        sink.emit(fb, row)?;
+                    }
+                }
+            }
+        }
+    }
+    sink.finish(fb)
+}

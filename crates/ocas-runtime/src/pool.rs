@@ -1,0 +1,531 @@
+//! A page-granular buffer pool over one backing file.
+//!
+//! Every read and write the [`FileBackend`](crate::FileBackend) issues goes
+//! through a pool: fixed-size page frames cached in memory, a pluggable
+//! [`EvictionPolicy`] choosing victims, pinned pages that may not be
+//! evicted, and dirty pages written back lazily (on eviction or
+//! [`BufferPool::flush`]). This is the real-I/O counterpart of the storage
+//! simulator's free RAM level: the pool is the "memory" of the hierarchy,
+//! the backing file is the device.
+
+use ocas_storage::StorageError;
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+
+/// Cumulative pool statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Page accesses served from a resident frame.
+    pub hits: u64,
+    /// Page accesses that had to load the page from the file.
+    pub misses: u64,
+    /// Frames reclaimed to make room.
+    pub evictions: u64,
+    /// Dirty pages written back to the file.
+    pub write_backs: u64,
+}
+
+/// Chooses which resident page to evict. Implementations see frames by
+/// index and are told about every admit/touch/removal; `victim` must skip
+/// the pinned frames the pool passes in.
+pub trait EvictionPolicy: std::fmt::Debug {
+    /// Policy name (for reports).
+    fn name(&self) -> &'static str;
+    /// A page was loaded into `frame`.
+    fn admit(&mut self, frame: usize);
+    /// The page in `frame` was accessed.
+    fn touch(&mut self, frame: usize);
+    /// The page in `frame` left the pool.
+    fn remove(&mut self, frame: usize);
+    /// Picks a victim among frames for which `pinned[frame]` is false.
+    fn victim(&mut self, pinned: &[bool]) -> Option<usize>;
+}
+
+/// Least-recently-used eviction via logical timestamps.
+#[derive(Debug, Default)]
+pub struct LruPolicy {
+    stamp: Vec<u64>,
+    now: u64,
+}
+
+impl EvictionPolicy for LruPolicy {
+    fn name(&self) -> &'static str {
+        "lru"
+    }
+
+    fn admit(&mut self, frame: usize) {
+        if frame >= self.stamp.len() {
+            self.stamp.resize(frame + 1, 0);
+        }
+        self.touch(frame);
+    }
+
+    fn touch(&mut self, frame: usize) {
+        self.now += 1;
+        self.stamp[frame] = self.now;
+    }
+
+    fn remove(&mut self, frame: usize) {
+        self.stamp[frame] = 0;
+    }
+
+    fn victim(&mut self, pinned: &[bool]) -> Option<usize> {
+        self.stamp
+            .iter()
+            .enumerate()
+            .filter(|(f, s)| **s > 0 && !pinned.get(*f).copied().unwrap_or(false))
+            .min_by_key(|(_, s)| **s)
+            .map(|(f, _)| f)
+    }
+}
+
+/// CLOCK (second-chance) eviction: one reference bit per frame, a rotating
+/// hand that clears bits until it finds an unreferenced, unpinned frame.
+#[derive(Debug, Default)]
+pub struct ClockPolicy {
+    referenced: Vec<bool>,
+    resident: Vec<bool>,
+    hand: usize,
+}
+
+impl EvictionPolicy for ClockPolicy {
+    fn name(&self) -> &'static str {
+        "clock"
+    }
+
+    fn admit(&mut self, frame: usize) {
+        if frame >= self.resident.len() {
+            self.resident.resize(frame + 1, false);
+            self.referenced.resize(frame + 1, false);
+        }
+        self.resident[frame] = true;
+        self.referenced[frame] = true;
+    }
+
+    fn touch(&mut self, frame: usize) {
+        self.referenced[frame] = true;
+    }
+
+    fn remove(&mut self, frame: usize) {
+        self.resident[frame] = false;
+        self.referenced[frame] = false;
+    }
+
+    fn victim(&mut self, pinned: &[bool]) -> Option<usize> {
+        let n = self.resident.len();
+        if n == 0 {
+            return None;
+        }
+        // Two sweeps suffice: the first clears reference bits, the second
+        // must find a victim unless everything is pinned.
+        for _ in 0..2 * n {
+            let f = self.hand;
+            self.hand = (self.hand + 1) % n;
+            if !self.resident[f] || pinned.get(f).copied().unwrap_or(false) {
+                continue;
+            }
+            if self.referenced[f] {
+                self.referenced[f] = false;
+            } else {
+                return Some(f);
+            }
+        }
+        None
+    }
+}
+
+/// First-in-first-out eviction (admission order, ignores accesses).
+#[derive(Debug, Default)]
+pub struct FifoPolicy {
+    stamp: Vec<u64>,
+    now: u64,
+}
+
+impl EvictionPolicy for FifoPolicy {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn admit(&mut self, frame: usize) {
+        if frame >= self.stamp.len() {
+            self.stamp.resize(frame + 1, 0);
+        }
+        self.now += 1;
+        self.stamp[frame] = self.now;
+    }
+
+    fn touch(&mut self, _frame: usize) {}
+
+    fn remove(&mut self, frame: usize) {
+        self.stamp[frame] = 0;
+    }
+
+    fn victim(&mut self, pinned: &[bool]) -> Option<usize> {
+        self.stamp
+            .iter()
+            .enumerate()
+            .filter(|(f, s)| **s > 0 && !pinned.get(*f).copied().unwrap_or(false))
+            .min_by_key(|(_, s)| **s)
+            .map(|(f, _)| f)
+    }
+}
+
+/// Which eviction policy a pool should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PolicyKind {
+    /// Least recently used (default).
+    #[default]
+    Lru,
+    /// CLOCK / second chance.
+    Clock,
+    /// First in, first out.
+    Fifo,
+}
+
+impl PolicyKind {
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn EvictionPolicy> {
+        match self {
+            PolicyKind::Lru => Box::<LruPolicy>::default(),
+            PolicyKind::Clock => Box::<ClockPolicy>::default(),
+            PolicyKind::Fifo => Box::<FifoPolicy>::default(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Frame {
+    page: u64,
+    data: Vec<u8>,
+    dirty: bool,
+    pins: u32,
+}
+
+/// The pool: `frames` page-sized buffers fronting one backing file.
+pub struct BufferPool {
+    file: File,
+    page_bytes: usize,
+    capacity: usize,
+    frames: Vec<Frame>,
+    /// page number → frame index.
+    table: BTreeMap<u64, usize>,
+    policy: Box<dyn EvictionPolicy>,
+    stats: PoolStats,
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("page_bytes", &self.page_bytes)
+            .field("capacity", &self.capacity)
+            .field("resident", &self.table.len())
+            .field("policy", &self.policy.name())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+fn io_err(e: std::io::Error) -> StorageError {
+    StorageError::Io(e.to_string())
+}
+
+impl BufferPool {
+    /// Builds a pool of `capacity` frames of `page_bytes` each over `file`.
+    pub fn new(file: File, page_bytes: usize, capacity: usize, policy: PolicyKind) -> BufferPool {
+        BufferPool {
+            file,
+            page_bytes: page_bytes.max(1),
+            capacity: capacity.max(1),
+            frames: Vec::new(),
+            table: BTreeMap::new(),
+            policy: policy.build(),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Pool statistics so far.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// The eviction policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    fn load_page(&mut self, page: u64) -> Result<usize, StorageError> {
+        if let Some(&f) = self.table.get(&page) {
+            self.stats.hits += 1;
+            self.policy.touch(f);
+            return Ok(f);
+        }
+        self.stats.misses += 1;
+        let mut data = vec![0u8; self.page_bytes];
+        self.file
+            .seek(SeekFrom::Start(page * self.page_bytes as u64))
+            .map_err(io_err)?;
+        // Short reads past EOF leave the tail zeroed (sparse files).
+        let mut filled = 0;
+        while filled < data.len() {
+            match self.file.read(&mut data[filled..]).map_err(io_err)? {
+                0 => break,
+                n => filled += n,
+            }
+        }
+        let frame = if self.frames.len() < self.capacity {
+            self.frames.push(Frame {
+                page,
+                data,
+                dirty: false,
+                pins: 0,
+            });
+            self.frames.len() - 1
+        } else {
+            let pinned: Vec<bool> = self.frames.iter().map(|f| f.pins > 0).collect();
+            let victim = self
+                .policy
+                .victim(&pinned)
+                .ok_or_else(|| StorageError::Io("all buffer-pool pages pinned".to_string()))?;
+            self.stats.evictions += 1;
+            self.write_back(victim)?;
+            let old = self.frames[victim].page;
+            self.table.remove(&old);
+            self.policy.remove(victim);
+            self.frames[victim] = Frame {
+                page,
+                data,
+                dirty: false,
+                pins: 0,
+            };
+            victim
+        };
+        self.table.insert(page, frame);
+        self.policy.admit(frame);
+        Ok(frame)
+    }
+
+    fn write_back(&mut self, frame: usize) -> Result<(), StorageError> {
+        if !self.frames[frame].dirty {
+            return Ok(());
+        }
+        let page = self.frames[frame].page;
+        self.file
+            .seek(SeekFrom::Start(page * self.page_bytes as u64))
+            .map_err(io_err)?;
+        self.file
+            .write_all(&self.frames[frame].data)
+            .map_err(io_err)?;
+        self.frames[frame].dirty = false;
+        self.stats.write_backs += 1;
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes at `offset` through the pool.
+    pub fn read(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), StorageError> {
+        let pb = self.page_bytes as u64;
+        let mut done = 0usize;
+        while done < buf.len() {
+            let pos = offset + done as u64;
+            let page = pos / pb;
+            let within = (pos % pb) as usize;
+            let take = (buf.len() - done).min(self.page_bytes - within);
+            let f = self.load_page(page)?;
+            buf[done..done + take].copy_from_slice(&self.frames[f].data[within..within + take]);
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` at `offset` through the pool (dirty pages are written
+    /// back on eviction or [`flush`](BufferPool::flush)).
+    pub fn write(&mut self, offset: u64, data: &[u8]) -> Result<(), StorageError> {
+        let pb = self.page_bytes as u64;
+        let mut done = 0usize;
+        while done < data.len() {
+            let pos = offset + done as u64;
+            let page = pos / pb;
+            let within = (pos % pb) as usize;
+            let take = (data.len() - done).min(self.page_bytes - within);
+            let f = self.load_page(page)?;
+            self.frames[f].data[within..within + take].copy_from_slice(&data[done..done + take]);
+            self.frames[f].dirty = true;
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// Pins the pages covering `[offset, offset + len)`: they stay resident
+    /// until unpinned. Returns the number of pages pinned.
+    pub fn pin(&mut self, offset: u64, len: u64) -> Result<u64, StorageError> {
+        let pb = self.page_bytes as u64;
+        let first = offset / pb;
+        let last = (offset + len.max(1) - 1) / pb;
+        for page in first..=last {
+            let f = self.load_page(page)?;
+            self.frames[f].pins += 1;
+        }
+        Ok(last - first + 1)
+    }
+
+    /// Unpins the pages covering `[offset, offset + len)`.
+    pub fn unpin(&mut self, offset: u64, len: u64) {
+        let pb = self.page_bytes as u64;
+        let first = offset / pb;
+        let last = (offset + len.max(1) - 1) / pb;
+        for page in first..=last {
+            if let Some(&f) = self.table.get(&page) {
+                self.frames[f].pins = self.frames[f].pins.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Writes every dirty page back to the file and syncs it.
+    pub fn flush(&mut self) -> Result<(), StorageError> {
+        for f in 0..self.frames.len() {
+            self.write_back(f)?;
+        }
+        self.file.sync_data().map_err(io_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_pool(capacity: usize, policy: PolicyKind) -> BufferPool {
+        let dir = std::env::temp_dir().join(format!(
+            "ocas-pool-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{policy:?}-{capacity}.bin"));
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .unwrap();
+        file.set_len(1 << 20).unwrap();
+        BufferPool::new(file, 64, capacity, policy)
+    }
+
+    #[test]
+    fn read_back_what_was_written() {
+        let mut p = temp_pool(8, PolicyKind::Lru);
+        let data: Vec<u8> = (0..300).map(|i| (i % 251) as u8).collect();
+        p.write(100, &data).unwrap();
+        let mut buf = vec![0u8; 300];
+        p.read(100, &mut buf).unwrap();
+        assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn dirty_pages_survive_eviction() {
+        let mut p = temp_pool(2, PolicyKind::Lru);
+        // Write 8 pages through a 2-frame pool, forcing write-backs.
+        for page in 0u64..8 {
+            p.write(page * 64, &[page as u8 + 1; 64]).unwrap();
+        }
+        assert!(p.stats().evictions >= 6, "{:?}", p.stats());
+        assert!(p.stats().write_backs >= 6, "{:?}", p.stats());
+        // Every page reads back intact (from file or frame).
+        for page in 0u64..8 {
+            let mut buf = [0u8; 64];
+            p.read(page * 64, &mut buf).unwrap();
+            assert_eq!(buf, [page as u8 + 1; 64], "page {page}");
+        }
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut p = temp_pool(4, PolicyKind::Lru);
+        let mut buf = [0u8; 64];
+        p.read(0, &mut buf).unwrap();
+        p.read(0, &mut buf).unwrap();
+        p.read(64, &mut buf).unwrap();
+        let s = p.stats();
+        assert_eq!((s.misses, s.hits), (2, 1));
+    }
+
+    #[test]
+    fn lru_keeps_the_hot_page() {
+        let mut p = temp_pool(2, PolicyKind::Lru);
+        let mut buf = [0u8; 64];
+        p.read(0, &mut buf).unwrap(); // page 0
+        p.read(64, &mut buf).unwrap(); // page 1
+        p.read(0, &mut buf).unwrap(); // touch page 0
+        p.read(128, &mut buf).unwrap(); // page 2 evicts page 1 (LRU)
+        let before = p.stats().misses;
+        p.read(0, &mut buf).unwrap(); // page 0 still resident
+        assert_eq!(p.stats().misses, before);
+        p.read(64, &mut buf).unwrap(); // page 1 was evicted
+        assert_eq!(p.stats().misses, before + 1);
+    }
+
+    #[test]
+    fn fifo_evicts_admission_order_even_if_hot() {
+        let mut p = temp_pool(2, PolicyKind::Fifo);
+        let mut buf = [0u8; 64];
+        p.read(0, &mut buf).unwrap(); // page 0 first in
+        p.read(64, &mut buf).unwrap(); // page 1
+        p.read(0, &mut buf).unwrap(); // touching does not help under FIFO
+        p.read(128, &mut buf).unwrap(); // evicts page 0
+        let before = p.stats().misses;
+        p.read(0, &mut buf).unwrap();
+        assert_eq!(p.stats().misses, before + 1, "page 0 was evicted");
+    }
+
+    #[test]
+    fn clock_grants_second_chance() {
+        let mut p = temp_pool(2, PolicyKind::Clock);
+        let mut buf = [0u8; 64];
+        p.read(0, &mut buf).unwrap();
+        p.read(64, &mut buf).unwrap();
+        // Both referenced; the hand clears page 0's bit first, then page
+        // 1's, then evicts page 0 (first unreferenced found).
+        p.read(128, &mut buf).unwrap();
+        let before = p.stats().misses;
+        p.read(64, &mut buf).unwrap();
+        assert_eq!(p.stats().misses, before, "page 1 got its second chance");
+        p.read(0, &mut buf).unwrap();
+        assert_eq!(p.stats().misses, before + 1, "page 0 was the victim");
+    }
+
+    #[test]
+    fn pinned_pages_are_never_evicted() {
+        let mut p = temp_pool(2, PolicyKind::Lru);
+        p.write(0, &[9u8; 64]).unwrap();
+        p.pin(0, 64).unwrap();
+        let mut buf = [0u8; 64];
+        p.read(64, &mut buf).unwrap();
+        p.read(128, &mut buf).unwrap(); // must evict page 1, not pinned page 0
+        let before = p.stats().misses;
+        p.read(0, &mut buf).unwrap();
+        assert_eq!(p.stats().misses, before, "pinned page stayed resident");
+        assert_eq!(buf, [9u8; 64]);
+        // With every frame pinned, loading a third page must fail, and
+        // unpinning must clear the jam.
+        p.pin(64, 64).unwrap_or(0);
+        // Frames: page 0 (pinned), page 64's page (pinned).
+        let jam = p.read(4096, &mut buf);
+        assert!(matches!(jam, Err(StorageError::Io(_))), "{jam:?}");
+        p.unpin(0, 64);
+        assert!(p.read(4096, &mut buf).is_ok());
+    }
+
+    #[test]
+    fn flush_persists_dirty_pages() {
+        let mut p = temp_pool(8, PolicyKind::Lru);
+        p.write(10, b"hello pool").unwrap();
+        assert_eq!(p.stats().write_backs, 0);
+        p.flush().unwrap();
+        assert!(p.stats().write_backs >= 1);
+        // A second flush has nothing left to do.
+        let wb = p.stats().write_backs;
+        p.flush().unwrap();
+        assert_eq!(p.stats().write_backs, wb);
+    }
+}

@@ -1,0 +1,230 @@
+//! The runtime entry point: execute one physical plan for real, with a
+//! twin simulated run for side-by-side seconds.
+
+use crate::algos::{self, AlgoError};
+use crate::backend::{FileBackend, PoolConfig};
+use crate::pool::PoolStats;
+use ocas_engine::{CpuModel, ExecError, Executor, Mode, Plan, RelSpec, Relation};
+use ocas_hierarchy::Hierarchy;
+use ocas_storage::{DeviceStats, StorageBackend, StorageError, StorageSim};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Runtime failures.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// Engine-level failure (either backend).
+    Exec(ExecError),
+    /// Storage-level failure.
+    Storage(StorageError),
+    /// Real-algorithm failure.
+    Algo(AlgoError),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Exec(e) => write!(f, "execution: {e}"),
+            RuntimeError::Storage(e) => write!(f, "storage: {e}"),
+            RuntimeError::Algo(e) => write!(f, "algorithm: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<ExecError> for RuntimeError {
+    fn from(e: ExecError) -> Self {
+        RuntimeError::Exec(e)
+    }
+}
+impl From<StorageError> for RuntimeError {
+    fn from(e: StorageError) -> Self {
+        RuntimeError::Storage(e)
+    }
+}
+impl From<AlgoError> for RuntimeError {
+    fn from(e: AlgoError) -> Self {
+        RuntimeError::Algo(e)
+    }
+}
+
+/// What one real execution measured, next to its simulated twin.
+#[derive(Debug)]
+pub struct RealReport {
+    /// Wall-clock seconds of the real execution, including dirty-page
+    /// write-back and sync (input materialization and result harvesting
+    /// stay outside the window).
+    pub wall_seconds: f64,
+    /// Wall-clock seconds spent inside charged I/O requests.
+    pub io_seconds: f64,
+    /// Simulated seconds of the identical plan on the device simulator.
+    pub sim_seconds: f64,
+    /// Output rows of the real execution.
+    pub output: Vec<ocas_engine::Row>,
+    /// Output rows of the simulated faithful twin.
+    pub sim_output: Vec<ocas_engine::Row>,
+    /// Per-device I/O counters of the real execution.
+    pub real_devices: Vec<(String, DeviceStats)>,
+    /// Per-device I/O counters of the simulated twin.
+    pub sim_devices: Vec<(String, DeviceStats)>,
+    /// Per-device buffer-pool statistics of the real execution.
+    pub pools: Vec<(String, PoolStats)>,
+}
+
+impl RealReport {
+    /// True when real and simulated outputs agree row-for-row.
+    pub fn outputs_match(&self) -> bool {
+        self.output == self.sim_output
+    }
+}
+
+/// Executes plans against real temp files (and their simulated twins).
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    /// Target hierarchy: devices become files, sizes become capacities.
+    pub hierarchy: Hierarchy,
+    /// Buffer-pool configuration for the real backend.
+    pub pool: PoolConfig,
+    /// Where to put the temp files (`None` = system temp dir).
+    pub dir: Option<PathBuf>,
+}
+
+impl Runtime {
+    /// A runtime for a hierarchy with default pool settings.
+    pub fn new(hierarchy: Hierarchy) -> Runtime {
+        Runtime {
+            hierarchy,
+            pool: PoolConfig::default(),
+            dir: None,
+        }
+    }
+
+    /// Overrides the buffer-pool configuration, builder style.
+    pub fn with_pool(mut self, pool: PoolConfig) -> Runtime {
+        self.pool = pool;
+        self
+    }
+
+    fn backend(&self) -> Result<FileBackend, StorageError> {
+        match &self.dir {
+            Some(d) => FileBackend::in_dir(&self.hierarchy, self.pool, d, false),
+            None => FileBackend::from_hierarchy(&self.hierarchy, self.pool),
+        }
+    }
+
+    /// Runs `plan` for real against temp files, then runs the identical
+    /// plan faithfully on the device simulator, and reports both.
+    ///
+    /// `rel_specs` are instantiated in order (plan relation indices refer
+    /// to that order) with per-relation seeds `seed + index`, identically
+    /// on both backends.
+    pub fn run_plan(
+        &self,
+        plan: &Plan,
+        rel_specs: &[RelSpec],
+        seed: u64,
+    ) -> Result<RealReport, RuntimeError> {
+        // Real execution.
+        let mut fb = self.backend()?;
+        let mut rels = Vec::new();
+        for (i, spec) in rel_specs.iter().enumerate() {
+            rels.push(Relation::create(&mut fb, spec, true, seed + i as u64)?);
+        }
+        let t0 = Instant::now();
+        let (output, mut fb) = match plan {
+            Plan::ExternalSort {
+                input,
+                fan_in,
+                b_in,
+                b_out,
+                scratch,
+                output,
+            } => {
+                let rel = rels
+                    .get(*input)
+                    .ok_or(ExecError::BadRelation(*input))?
+                    .clone();
+                let rows =
+                    algos::external_sort(&mut fb, &rel, *fan_in, *b_in, *b_out, scratch, output)?;
+                (rows, fb)
+            }
+            Plan::GraceJoin {
+                left,
+                right,
+                partitions,
+                buffer_bytes,
+                spill,
+                pred,
+                output,
+            } => {
+                let l = rels
+                    .get(*left)
+                    .ok_or(ExecError::BadRelation(*left))?
+                    .clone();
+                let r = rels
+                    .get(*right)
+                    .ok_or(ExecError::BadRelation(*right))?
+                    .clone();
+                let cross = matches!(pred, ocas_engine::JoinPred::Cross);
+                let rows = algos::grace_join(
+                    &mut fb,
+                    &l,
+                    &r,
+                    *partitions,
+                    *buffer_bytes,
+                    spill,
+                    cross,
+                    output,
+                )?;
+                (rows, fb)
+            }
+            other => {
+                // Every other operator runs through the generic executor:
+                // same faithful semantics, I/O against the real files.
+                let mut ex = Executor::new(fb, Mode::Faithful, CpuModel::disabled());
+                for rel in &rels {
+                    ex.add_relation(rel.clone());
+                }
+                let stats = ex.run(other)?;
+                (stats.output.unwrap_or_default(), ex.sm)
+            }
+        };
+        // Write-back and sync belong to the measured run: without this,
+        // outputs small enough to sit in the buffer pools would be "free".
+        fb.flush()?;
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        let io_seconds = fb.clock();
+        let real_devices = fb.all_device_stats();
+        let pools = fb.pool_stats();
+        drop(fb);
+
+        // Simulated twin: identical plan, identical data.
+        let sm = StorageSim::from_hierarchy(&self.hierarchy);
+        let mut ex = Executor::new(sm, Mode::Faithful, CpuModel::default());
+        for (i, spec) in rel_specs.iter().enumerate() {
+            let rel = Relation::create(&mut ex.sm, spec, true, seed + i as u64)?;
+            ex.add_relation(rel);
+        }
+        let sim_stats = ex.run(plan)?;
+        let sim_devices: Vec<(String, DeviceStats)> = self
+            .hierarchy
+            .ids()
+            .filter_map(|id| {
+                let name = &self.hierarchy.node(id).name;
+                ocas_storage::StorageSim::device_stats(&ex.sm, name).map(|s| (name.clone(), s))
+            })
+            .collect();
+
+        Ok(RealReport {
+            wall_seconds,
+            io_seconds,
+            sim_seconds: sim_stats.seconds,
+            output,
+            sim_output: sim_stats.output.unwrap_or_default(),
+            real_devices,
+            sim_devices,
+            pools,
+        })
+    }
+}

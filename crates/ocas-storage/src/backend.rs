@@ -1,0 +1,173 @@
+//! The backend seam: one trait over which the execution engine issues every
+//! storage request, implemented by both the device *simulator*
+//! ([`StorageSim`]) and — in the `ocas-runtime` crate — a real-I/O file
+//! backend. The engine is generic over this trait, so every faithful-mode
+//! plan execution can run unchanged against simulated devices or actual
+//! files on disk, and the two executions issue the *same* request stream
+//! (the property the cross-backend equivalence tests pin down).
+
+use crate::device::DeviceStats;
+use crate::manager::{FileId, StorageError, StorageSim};
+
+/// A clocked storage layer: named devices, extent allocation, read/write
+/// request accounting and (for real backends) actual data transfer.
+///
+/// Two kinds of request coexist:
+///
+/// * **Accounting requests** ([`read`](StorageBackend::read) /
+///   [`write`](StorageBackend::write)) carry no payload. The simulator
+///   charges modeled time; a real backend moves that many actual bytes
+///   (reading into a scratch buffer, writing filler) so wall-clock time is
+///   honest even where the engine models data flow analytically.
+/// * **Data requests** ([`write_bytes`](StorageBackend::write_bytes))
+///   additionally carry the payload, so faithful-mode outputs land
+///   byte-for-byte in real files. The simulator treats them exactly like
+///   the accounting variant — both backends see identical request streams.
+///
+/// [`materialize`](StorageBackend::materialize) is the setup path: it
+/// places input data into a file *without* charging the clock or counters,
+/// so measurements cover only the algorithm under test.
+pub trait StorageBackend {
+    /// Allocates a file of `len` bytes on the named device.
+    fn alloc(&mut self, device: &str, len: u64) -> Result<FileId, StorageError>;
+
+    /// Reads `len` bytes at `offset` within `file` (accounting request).
+    fn read(&mut self, file: FileId, offset: u64, len: u64) -> Result<(), StorageError>;
+
+    /// Writes `len` bytes at `offset` within `file` (accounting request).
+    fn write(&mut self, file: FileId, offset: u64, len: u64) -> Result<(), StorageError>;
+
+    /// Writes `data` at `offset` within `file` (data request). Charged
+    /// exactly like [`write`](StorageBackend::write) of `data.len()` bytes.
+    fn write_bytes(&mut self, file: FileId, offset: u64, data: &[u8]) -> Result<(), StorageError>;
+
+    /// Places `data` at `offset` within `file` without charging the clock
+    /// or the I/O counters (test/input setup, not measured work).
+    fn materialize(&mut self, file: FileId, offset: u64, data: &[u8]) -> Result<(), StorageError>;
+
+    /// Adds pure computation time to the clock. Real backends ignore this —
+    /// their CPU time is part of wall time already.
+    fn charge_cpu(&mut self, seconds: f64);
+
+    /// Seconds elapsed so far: simulated seconds for the simulator,
+    /// wall-clock seconds spent in I/O for a real backend.
+    fn clock(&self) -> f64;
+
+    /// File length in bytes.
+    fn len(&self, file: FileId) -> u64;
+
+    /// True if the file is empty.
+    fn is_empty(&self, file: FileId) -> bool {
+        self.len(file) == 0
+    }
+
+    /// Device name holding the file.
+    fn device_of(&self, file: FileId) -> &str;
+
+    /// Statistics for a device by name.
+    fn device_stats(&self, device: &str) -> Option<DeviceStats>;
+
+    /// Frees the most recent allocations down to `mark` bytes on a device.
+    fn truncate_device(&mut self, device: &str, mark: u64) -> Result<(), StorageError>;
+
+    /// Current allocation watermark of a device.
+    fn watermark(&self, device: &str) -> Option<u64>;
+}
+
+impl StorageBackend for StorageSim {
+    fn alloc(&mut self, device: &str, len: u64) -> Result<FileId, StorageError> {
+        StorageSim::alloc(self, device, len)
+    }
+
+    fn read(&mut self, file: FileId, offset: u64, len: u64) -> Result<(), StorageError> {
+        StorageSim::read(self, file, offset, len)
+    }
+
+    fn write(&mut self, file: FileId, offset: u64, len: u64) -> Result<(), StorageError> {
+        StorageSim::write(self, file, offset, len)
+    }
+
+    fn write_bytes(&mut self, file: FileId, offset: u64, data: &[u8]) -> Result<(), StorageError> {
+        StorageSim::write(self, file, offset, data.len() as u64)
+    }
+
+    fn materialize(&mut self, file: FileId, offset: u64, data: &[u8]) -> Result<(), StorageError> {
+        // The simulator keeps no data; setup only needs the extent to exist.
+        let end = offset + data.len() as u64;
+        if end > StorageSim::len(self, file) {
+            return Err(StorageError::OutOfBounds {
+                file: file.0,
+                end,
+                len: StorageSim::len(self, file),
+            });
+        }
+        Ok(())
+    }
+
+    fn charge_cpu(&mut self, seconds: f64) {
+        StorageSim::charge_cpu(self, seconds)
+    }
+
+    fn clock(&self) -> f64 {
+        StorageSim::clock(self)
+    }
+
+    fn len(&self, file: FileId) -> u64 {
+        StorageSim::len(self, file)
+    }
+
+    fn device_of(&self, file: FileId) -> &str {
+        StorageSim::device_of(self, file)
+    }
+
+    fn device_stats(&self, device: &str) -> Option<DeviceStats> {
+        StorageSim::device_stats(self, device)
+    }
+
+    fn truncate_device(&mut self, device: &str, mark: u64) -> Result<(), StorageError> {
+        StorageSim::truncate_device(self, device, mark)
+    }
+
+    fn watermark(&self, device: &str) -> Option<u64> {
+        StorageSim::watermark(self, device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocas_hierarchy::presets;
+
+    fn dyn_roundtrip(b: &mut dyn StorageBackend) {
+        let f = b.alloc("HDD", 4096).unwrap();
+        b.read(f, 0, 4096).unwrap();
+        b.write_bytes(f, 0, &[7u8; 128]).unwrap();
+        b.materialize(f, 0, &[1u8; 64]).unwrap();
+        assert_eq!(b.len(f), 4096);
+        assert!(!b.is_empty(f));
+        assert_eq!(b.device_of(f), "HDD");
+        assert!(b.clock() > 0.0);
+        let stats = b.device_stats("HDD").unwrap();
+        // materialize is uncharged; write_bytes charges page-rounded bytes.
+        assert_eq!(stats.bytes_read, 4096);
+        assert_eq!(stats.bytes_written, 4096);
+    }
+
+    #[test]
+    fn storage_sim_is_object_safe_backend() {
+        let h = presets::hdd_ram(1 << 25);
+        let mut sm = StorageSim::from_hierarchy(&h);
+        dyn_roundtrip(&mut sm);
+    }
+
+    #[test]
+    fn materialize_checks_bounds() {
+        let h = presets::hdd_ram(1 << 25);
+        let mut sm = StorageSim::from_hierarchy(&h);
+        let f = StorageSim::alloc(&mut sm, "HDD", 16).unwrap();
+        assert!(matches!(
+            StorageBackend::materialize(&mut sm, f, 8, &[0u8; 16]),
+            Err(StorageError::OutOfBounds { .. })
+        ));
+    }
+}

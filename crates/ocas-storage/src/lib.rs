@@ -16,10 +16,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
 pub mod device;
 pub mod manager;
 
+pub use backend::StorageBackend;
 pub use cache::{CacheSim, CacheStats};
 pub use device::{DeviceSim, DeviceStats, FlashSim, HddSim, RamSim};
 pub use manager::{FileId, StorageError, StorageSim};

@@ -32,6 +32,8 @@ pub enum StorageError {
     },
     /// Device capacity exhausted.
     Full(String),
+    /// Operating-system I/O failure (real backends only).
+    Io(String),
 }
 
 impl fmt::Display for StorageError {
@@ -42,6 +44,7 @@ impl fmt::Display for StorageError {
                 write!(f, "access past end of file {file}: {end} > {len}")
             }
             StorageError::Full(d) => write!(f, "device `{d}` is full"),
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
         }
     }
 }

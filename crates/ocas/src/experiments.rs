@@ -52,6 +52,8 @@ pub enum ExpError {
     Exec(ocas_engine::ExecError),
     /// Storage setup failed.
     Storage(ocas_storage::StorageError),
+    /// Real-I/O execution failed.
+    Runtime(ocas_runtime::RuntimeError),
 }
 
 impl fmt::Display for ExpError {
@@ -61,6 +63,7 @@ impl fmt::Display for ExpError {
             ExpError::Lower(e) => write!(f, "lowering: {e}"),
             ExpError::Exec(e) => write!(f, "execution: {e}"),
             ExpError::Storage(e) => write!(f, "storage: {e}"),
+            ExpError::Runtime(e) => write!(f, "real I/O: {e}"),
         }
     }
 }
@@ -85,6 +88,11 @@ impl From<ocas_engine::ExecError> for ExpError {
 impl From<ocas_storage::StorageError> for ExpError {
     fn from(e: ocas_storage::StorageError) -> Self {
         ExpError::Storage(e)
+    }
+}
+impl From<ocas_runtime::RuntimeError> for ExpError {
+    fn from(e: ocas_runtime::RuntimeError) -> Self {
+        ExpError::Runtime(e)
     }
 }
 

@@ -12,14 +12,14 @@ fn find(e: &Expr, pred: &impl Fn(&Expr) -> bool) -> bool {
     e.children().iter().any(|c| find(c, pred))
 }
 
-/// Strips the *order-inputs* wrapper, if present.
+/// Strips the *order-inputs* wrapper — including curried, fully-applied
+/// lambda spines `((λa. λb. body)(x))(y)` (the single-argument assumption
+/// here used to hide the loop nest of curried wrappers from the matcher).
 fn strip_order(e: &Expr) -> &Expr {
-    if let Expr::App { func, .. } = e {
-        if let Expr::Lam { body, .. } = &**func {
-            return body;
-        }
+    match e.applied_lambda_spine() {
+        Some((_, body)) => body,
+        None => e,
     }
-    e
 }
 
 /// The canonical Block Nested Loops Join: a blocked loop over one relation
@@ -140,6 +140,21 @@ mod tests {
         .unwrap();
         assert!(is_block_nested_loops(&wrapped));
         assert!(has_order_inputs(&wrapped));
+    }
+
+    #[test]
+    fn recognizes_curried_wrapped_bnl() {
+        // Curried-application regression: a fully-applied two-argument
+        // wrapper must not hide the loop nest from the matcher.
+        let curried = parse(
+            "((\\a. \\b. for (xB [k0] <- a) for (yB [k1] <- b) for (x <- xB) for (y <- yB) \
+             if x.1 == y.1 then [<x, y>] else [])(R))(S)",
+        )
+        .unwrap();
+        assert!(is_block_nested_loops(&curried));
+        // Partial application is not a wrapper; nothing to strip.
+        let partial = parse("(\\a. \\b. for (x <- a) for (y <- b) [<x, y>])(R)").unwrap();
+        assert!(!is_block_nested_loops(&partial));
     }
 
     #[test]

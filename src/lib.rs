@@ -12,5 +12,6 @@ pub use ocas_engine;
 pub use ocas_hierarchy;
 pub use ocas_opt;
 pub use ocas_rewrite;
+pub use ocas_runtime;
 pub use ocas_storage;
 pub use ocas_symbolic;
