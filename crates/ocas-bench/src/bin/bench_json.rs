@@ -1,23 +1,42 @@
 //! Emits the `BENCH_results.json` trajectory point: Table 1 rows, Figure 8
-//! points, the Figure 7 device constants, the cache-miss companion, and
-//! the real-I/O workloads (wall-clock + simulated seconds side by side).
+//! points, the Figure 7 device constants, the cache-miss companion, the
+//! engine data-path throughput (faithful rows/sec per plan template on both
+//! backends), and the real-I/O workloads (wall-clock + simulated seconds
+//! side by side).
 //!
 //! Usage: `cargo run --release -p ocas-bench --bin bench_json [-- OPTIONS]`
 //!
-//! * `--out <path>`      output file (default `BENCH_results.json`)
-//! * `--real-only`       skip the synthesis-heavy Table 1 / Figure 8 runs
-//! * `--real-scale <n>`  multiply the real-workload cardinalities
+//! * `--out <path>`           output file (default `BENCH_results.json`)
+//! * `--real-only`            skip the synthesis-heavy Table 1 / Figure 8 runs
+//! * `--real-scale <n>`       multiply the real-workload cardinalities
+//! * `--engine-scale <n>`     multiply the engine-throughput cardinalities
+//! * `--engine-before <path>` prior document whose `engine` section becomes
+//!   the before-numbers (`before_rows_per_sec` / `speedup` per entry)
+//! * `--check <path>`         compare this run against a baseline document
+//!   and exit non-zero on regressions (exact on rows/bytes/outputs, a
+//!   generous wall-clock and throughput tolerance for machine variance)
+//! * `--check-tolerance <x>`  override the wall/throughput factor (default 25)
+//! * `--disk-bound`           run the real-I/O workloads in the
+//!   fsync/`O_DIRECT` disk-bounded timing mode
 //!
 //! `--real-only` is the mode CI's smoke job affords (seconds); the full
 //! document is regenerated manually per trajectory point.
 
-use ocas_bench::report::{bench_doc, real_workloads, validate_bench_doc};
+use ocas_bench::json::Json;
+use ocas_bench::report::{
+    bench_doc, check_regressions, engine_throughput, real_workloads, validate_bench_doc,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = "BENCH_results.json".to_string();
     let mut real_only = false;
     let mut real_scale = 1u64;
+    let mut engine_scale = 1u64;
+    let mut engine_before: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut check_tolerance = 25.0f64;
+    let mut disk_bound = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -30,6 +49,25 @@ fn main() {
                     .parse()
                     .expect("--real-scale needs a number")
             }
+            "--engine-scale" => {
+                engine_scale = it
+                    .next()
+                    .expect("--engine-scale needs a number")
+                    .parse()
+                    .expect("--engine-scale needs a number")
+            }
+            "--engine-before" => {
+                engine_before = Some(it.next().expect("--engine-before needs a path").clone())
+            }
+            "--check" => check = Some(it.next().expect("--check needs a path").clone()),
+            "--check-tolerance" => {
+                check_tolerance = it
+                    .next()
+                    .expect("--check-tolerance needs a number")
+                    .parse()
+                    .expect("--check-tolerance needs a number")
+            }
+            "--disk-bound" => disk_bound = true,
             other => {
                 eprintln!("unknown option `{other}`");
                 std::process::exit(2);
@@ -63,8 +101,25 @@ fn main() {
         }
     }
 
-    eprintln!("running real-I/O workloads (scale {real_scale})…");
-    let real = match real_workloads(real_scale) {
+    eprintln!("running engine throughput workloads (scale {engine_scale})…");
+    let engine = match engine_throughput(engine_scale) {
+        Ok(rows) => {
+            for r in &rows {
+                eprintln!(
+                    "  {:<16} {:<4} {:>12.0} rows/s ({} rows in {:.3}s)",
+                    r.template, r.backend, r.rows_per_sec, r.rows_in, r.seconds
+                );
+            }
+            rows
+        }
+        Err(e) => {
+            eprintln!("engine throughput FAILED: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    eprintln!("running real-I/O workloads (scale {real_scale}, disk_bound {disk_bound})…");
+    let real = match real_workloads(real_scale, disk_bound) {
         Ok(rows) => rows,
         Err(e) => {
             eprintln!("real-I/O workloads FAILED: {e}");
@@ -84,12 +139,37 @@ fn main() {
         diverged |= !r.report.outputs_match();
     }
 
-    let doc = bench_doc(&table1, &figure8, cache, &real);
+    let before_doc = engine_before.map(|p| {
+        let text = std::fs::read_to_string(&p).expect("read --engine-before document");
+        Json::parse(&text).expect("parse --engine-before document")
+    });
+    let doc = bench_doc(
+        &table1,
+        &figure8,
+        cache,
+        &real,
+        &engine,
+        before_doc.as_ref(),
+    );
     validate_bench_doc(&doc).expect("generated document must satisfy its own schema");
     std::fs::write(&out_path, doc.pretty()).expect("write BENCH json");
     eprintln!("wrote {out_path}");
     if diverged {
         eprintln!("FAIL: a real-I/O run disagreed with the simulator (see match=false above)");
         std::process::exit(1);
+    }
+
+    if let Some(baseline_path) = check {
+        let text = std::fs::read_to_string(&baseline_path).expect("read --check baseline");
+        let baseline = Json::parse(&text).expect("parse --check baseline");
+        match check_regressions(&doc, &baseline, check_tolerance) {
+            Ok(compared) => eprintln!("check OK: {compared} entries within tolerance"),
+            Err(failures) => {
+                for f in &failures {
+                    eprintln!("REGRESSION: {f}");
+                }
+                std::process::exit(1);
+            }
+        }
     }
 }

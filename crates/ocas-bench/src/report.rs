@@ -7,9 +7,10 @@
 
 use crate::json::Json;
 use ocas::experiments::{Fig8Point, Row};
-use ocas_engine::{JoinPred, Output, Plan, RelSpec};
+use ocas_engine::{CpuModel, Executor, JoinPred, MergeKind, Mode, Output, Plan, RelSpec, Relation};
 use ocas_hierarchy::presets;
-use ocas_runtime::{RealReport, Runtime, RuntimeError};
+use ocas_runtime::{FileBackend, PoolConfig, RealReport, Runtime, RuntimeError};
+use ocas_storage::{StorageBackend, StorageSim};
 
 /// The document's schema tag; bump on breaking layout changes.
 pub const SCHEMA: &str = "ocas-bench/v1";
@@ -18,6 +19,9 @@ pub const SCHEMA: &str = "ocas-bench/v1";
 pub struct RealRow {
     /// Workload name.
     pub name: String,
+    /// Cardinality scale factor the workload ran at (entries are only
+    /// regression-compared against a baseline at the same scale).
+    pub scale: u64,
     /// The measured report.
     pub report: RealReport,
 }
@@ -64,6 +68,7 @@ fn real_json(r: &RealRow) -> Json {
         .fold((0u64, 0u64), |(h, m), (_, p)| (h + p.hits, m + p.misses));
     Json::obj(vec![
         ("name", Json::str(&r.name)),
+        ("scale", Json::num(r.scale as f64)),
         ("wall_seconds", Json::num(r.report.wall_seconds)),
         ("io_seconds", Json::num(r.report.io_seconds)),
         ("sim_seconds", Json::num(r.report.sim_seconds)),
@@ -74,6 +79,184 @@ fn real_json(r: &RealRow) -> Json {
         ("pool_hits", Json::num(pool_hits as f64)),
         ("pool_misses", Json::num(pool_misses as f64)),
     ])
+}
+
+/// One engine data-path throughput measurement: a plan template executed
+/// faithfully (real rows end to end) on one backend.
+#[derive(Debug, Clone)]
+pub struct EngineRow {
+    /// Plan template name (`Plan::name`).
+    pub template: String,
+    /// `"sim"` (StorageSim) or `"real"` (FileBackend temp files).
+    pub backend: String,
+    /// Input tuples the template consumed.
+    pub rows_in: u64,
+    /// Output tuples the template produced.
+    pub rows_out: u64,
+    /// Host wall-clock seconds of the faithful execution.
+    pub seconds: f64,
+    /// `rows_in / seconds` — the data-path throughput the flat-batch
+    /// representation is accountable for.
+    pub rows_per_sec: f64,
+}
+
+fn engine_json(r: &EngineRow, before: Option<f64>) -> Json {
+    let mut pairs = vec![
+        ("template", Json::str(&r.template)),
+        ("backend", Json::str(&r.backend)),
+        ("rows_in", Json::num(r.rows_in as f64)),
+        ("rows_out", Json::num(r.rows_out as f64)),
+        ("seconds", Json::num(r.seconds)),
+        ("rows_per_sec", Json::num(r.rows_per_sec)),
+    ];
+    if let Some(b) = before {
+        pairs.push(("before_rows_per_sec", Json::num(b)));
+        pairs.push((
+            "speedup",
+            Json::num(r.rows_per_sec / b.max(f64::MIN_POSITIVE)),
+        ));
+    }
+    Json::obj(pairs)
+}
+
+/// The engine throughput workloads: every plan template, faithful mode,
+/// sized so one run takes well under a second each at `scale = 1`.
+fn engine_workloads(scale: u64) -> Vec<(Plan, Vec<RelSpec>)> {
+    let s = scale.max(1);
+    let out = |buf: u64| Output::ToDevice {
+        device: "HDD".into(),
+        buffer_bytes: buf,
+    };
+    vec![
+        (
+            Plan::BnlJoin {
+                outer: 0,
+                inner: 1,
+                k1: 512,
+                k2: 512,
+                tiling: None,
+                pred: JoinPred::KeyEq,
+                order_inputs: false,
+                output: out(1 << 16),
+            },
+            vec![
+                RelSpec::pairs("R", "HDD", 6_000 * s).with_key_range(2_000 * s),
+                RelSpec::pairs("S", "HDD", 4_000 * s).with_key_range(2_000 * s),
+            ],
+        ),
+        (
+            Plan::GraceJoin {
+                left: 0,
+                right: 1,
+                partitions: 64,
+                buffer_bytes: 1 << 20,
+                spill: "HDD".into(),
+                pred: JoinPred::KeyEq,
+                output: out(1 << 16),
+            },
+            vec![
+                RelSpec::pairs("R", "HDD", 300_000 * s).with_key_range(60_000 * s),
+                RelSpec::pairs("S", "HDD", 200_000 * s).with_key_range(60_000 * s),
+            ],
+        ),
+        (
+            Plan::ExternalSort {
+                input: 0,
+                fan_in: 8,
+                b_in: 4096,
+                b_out: 16384,
+                scratch: "HDD".into(),
+                output: out(1 << 16),
+            },
+            vec![RelSpec::ints("L", "HDD", 1_000_000 * s)],
+        ),
+        (
+            Plan::MergePass {
+                left: 0,
+                right: 1,
+                kind: MergeKind::MultisetUnionSorted,
+                b_in: 4096,
+                output: out(1 << 16),
+            },
+            vec![
+                RelSpec::ints("A", "HDD", 800_000 * s).sorted(),
+                RelSpec::ints("B", "HDD", 800_000 * s).sorted(),
+            ],
+        ),
+        (
+            Plan::ColumnZip {
+                columns: vec![0, 1, 2, 3, 4],
+                b_in: 4096,
+                output: out(1 << 16),
+            },
+            (1..=5)
+                .map(|i| RelSpec::ints(&format!("C{i}"), "HDD", 300_000 * s))
+                .collect(),
+        ),
+        (
+            Plan::DedupSorted {
+                input: 0,
+                b_in: 4096,
+                output: out(1 << 16),
+            },
+            vec![RelSpec::ints("L", "HDD", 1_000_000 * s)
+                .sorted()
+                .with_key_range(500_000 * s)],
+        ),
+        (
+            Plan::Aggregate {
+                input: 0,
+                b_in: 4096,
+            },
+            vec![RelSpec::ints("L", "HDD", 2_000_000 * s)],
+        ),
+    ]
+}
+
+fn engine_run<B: StorageBackend>(
+    mut ex: Executor<B>,
+    plan: &Plan,
+    specs: &[RelSpec],
+    backend: &str,
+) -> Result<EngineRow, RuntimeError> {
+    let mut rows_in = 0u64;
+    for (i, spec) in specs.iter().enumerate() {
+        rows_in += spec.card;
+        let rel = Relation::create(&mut ex.sm, spec, true, 100 + i as u64)
+            .map_err(ocas_engine::ExecError::from)?;
+        ex.add_relation(rel);
+    }
+    let t0 = std::time::Instant::now();
+    let stats = ex.run(plan)?;
+    let seconds = t0.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+    Ok(EngineRow {
+        template: plan.name().to_string(),
+        backend: backend.to_string(),
+        rows_in,
+        rows_out: stats.output_rows,
+        seconds,
+        rows_per_sec: rows_in as f64 / seconds,
+    })
+}
+
+/// Measures faithful data-path throughput (host rows/sec) for every plan
+/// template on both backends. `scale` multiplies the input cardinalities.
+pub fn engine_throughput(scale: u64) -> Result<Vec<EngineRow>, RuntimeError> {
+    let mut out = Vec::new();
+    for (plan, specs) in engine_workloads(scale) {
+        let h = presets::hdd_ram(64 << 20);
+        let sim = Executor::new(
+            StorageSim::from_hierarchy(&h),
+            Mode::Faithful,
+            CpuModel::disabled(),
+        );
+        out.push(engine_run(sim, &plan, &specs, "sim")?);
+
+        let fb = FileBackend::from_hierarchy(&h, PoolConfig::default())?;
+        let real = Executor::new(fb, Mode::Faithful, CpuModel::disabled());
+        out.push(engine_run(real, &plan, &specs, "real")?);
+    }
+    Ok(out)
 }
 
 /// Figure 7 device constants (sizes and page sizes of the paper platform).
@@ -93,13 +276,38 @@ fn figures_json() -> Json {
     Json::obj(vec![("paper_platform_devices", Json::Arr(devices))])
 }
 
-/// Assembles the full document.
+/// Looks up a prior document's `engine` entry for `(template, backend)`
+/// and returns its `rows_per_sec` (the before-number of a trajectory pair).
+fn engine_before(doc: &Json, template: &str, backend: &str) -> Option<f64> {
+    doc.get("engine")?.as_arr()?.iter().find_map(|e| {
+        let t = e.get("template")?.as_str()?;
+        let b = e.get("backend")?.as_str()?;
+        if t == template && b == backend {
+            e.get("rows_per_sec")?.as_num()
+        } else {
+            None
+        }
+    })
+}
+
+/// Assembles the full document. `engine_baseline` is an earlier document
+/// whose `engine` section provides the before-numbers of the trajectory
+/// (each entry then carries `before_rows_per_sec` and `speedup`).
 pub fn bench_doc(
     table1: &[Row],
     figure8: &[Fig8Point],
     cache_misses: Option<(u64, u64)>,
     real: &[RealRow],
+    engine: &[EngineRow],
+    engine_baseline: Option<&Json>,
 ) -> Json {
+    let engine_entries: Vec<Json> = engine
+        .iter()
+        .map(|r| {
+            let before = engine_baseline.and_then(|d| engine_before(d, &r.template, &r.backend));
+            engine_json(r, before)
+        })
+        .collect();
     let mut pairs = vec![
         ("schema", Json::str(SCHEMA)),
         ("table1", Json::Arr(table1.iter().map(row_json).collect())),
@@ -108,6 +316,7 @@ pub fn bench_doc(
             Json::Arr(figure8.iter().map(fig8_json).collect()),
         ),
         ("figures", figures_json()),
+        ("engine", Json::Arr(engine_entries)),
         ("real", Json::Arr(real.iter().map(real_json).collect())),
     ];
     if let Some((untiled, tiled)) = cache_misses {
@@ -136,7 +345,7 @@ pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
     if schema != SCHEMA {
         return Err(format!("schema `{schema}` is not `{SCHEMA}`"));
     }
-    let sections: [(&str, &[&str]); 3] = [
+    let sections: [(&str, &[&str]); 4] = [
         (
             "table1",
             &[
@@ -150,6 +359,17 @@ pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
         (
             "figure8",
             &["panel", "label", "estimated_seconds", "measured_seconds"],
+        ),
+        (
+            "engine",
+            &[
+                "template",
+                "backend",
+                "rows_in",
+                "rows_out",
+                "seconds",
+                "rows_per_sec",
+            ],
         ),
         (
             "real",
@@ -176,7 +396,9 @@ pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
                     .get(field)
                     .ok_or_else(|| format!("{section}[{i}] missing `{field}`"))?;
                 let ok = match *field {
-                    "name" | "panel" | "label" | "best_program" => v.as_str().is_some(),
+                    "name" | "panel" | "label" | "best_program" | "template" | "backend" => {
+                        v.as_str().is_some()
+                    }
                     "outputs_match" => matches!(v, Json::Bool(_)),
                     _ => v.as_num().is_some(),
                 };
@@ -193,13 +415,122 @@ pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Compares a freshly generated document against a committed baseline.
+///
+/// Determinism invariants (same seeds, same plans) are exact: `real`
+/// entries matched by name must agree on `output_rows`, `bytes_read` and
+/// `bytes_written`, and must have `outputs_match = true`. Timing is
+/// machine-dependent, so `wall_seconds` may only regress by `tolerance`×
+/// over the baseline, and `engine` throughput (matched by template +
+/// backend) may only drop to `1/tolerance` of the baseline. Entries present
+/// on one side only are skipped (workloads evolve across trajectory
+/// points). Returns the number of entries compared, or the list of
+/// violations.
+pub fn check_regressions(
+    doc: &Json,
+    baseline: &Json,
+    tolerance: f64,
+) -> Result<usize, Vec<String>> {
+    let tol = tolerance.max(1.0);
+    let mut failures = Vec::new();
+    let mut compared = 0usize;
+
+    let arr = |d: &Json, key: &str| -> Vec<Json> {
+        d.get(key)
+            .and_then(Json::as_arr)
+            .map(|a| a.to_vec())
+            .unwrap_or_default()
+    };
+
+    for entry in arr(doc, "real") {
+        let name = entry
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let Some(base) = arr(baseline, "real")
+            .into_iter()
+            .find(|b| b.get("name").and_then(Json::as_str) == Some(&name))
+        else {
+            continue;
+        };
+        // A run at a different cardinality scale than the baseline is a
+        // different workload — its row counts, byte totals and wall clock
+        // are all legitimately different (the nightly runs scaled; the
+        // committed baseline is scale 1). Only same-scale entries compare.
+        let scale_of = |e: &Json| e.get("scale").and_then(Json::as_num).unwrap_or(1.0);
+        if scale_of(&entry) != scale_of(&base) {
+            continue;
+        }
+        compared += 1;
+        let num = |e: &Json, f: &str| e.get(f).and_then(Json::as_num).unwrap_or(f64::NAN);
+        for field in ["output_rows", "bytes_read", "bytes_written"] {
+            let (got, want) = (num(&entry, field), num(&base, field));
+            if got != want {
+                failures.push(format!("real `{name}`: {field} {got} != baseline {want}"));
+            }
+        }
+        if entry.get("outputs_match") != Some(&Json::Bool(true)) {
+            failures.push(format!("real `{name}`: outputs_match is not true"));
+        }
+        let (wall, base_wall) = (num(&entry, "wall_seconds"), num(&base, "wall_seconds"));
+        if wall > tol * base_wall {
+            failures.push(format!(
+                "real `{name}`: wall_seconds {wall:.4} > {tol}x baseline {base_wall:.4}"
+            ));
+        }
+    }
+
+    for entry in arr(doc, "engine") {
+        let template = entry
+            .get("template")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let backend = entry
+            .get("backend")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let Some(base) = arr(baseline, "engine").into_iter().find(|b| {
+            b.get("template").and_then(Json::as_str) == Some(&template)
+                && b.get("backend").and_then(Json::as_str) == Some(&backend)
+        }) else {
+            continue;
+        };
+        compared += 1;
+        let num = |e: &Json, f: &str| e.get(f).and_then(Json::as_num).unwrap_or(f64::NAN);
+        if num(&entry, "rows_in") == num(&base, "rows_in") {
+            let (rps, base_rps) = (num(&entry, "rows_per_sec"), num(&base, "rows_per_sec"));
+            if rps * tol < base_rps {
+                failures.push(format!(
+                    "engine `{template}/{backend}`: rows_per_sec {rps:.0} < baseline {base_rps:.0} / {tol}"
+                ));
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        Ok(compared)
+    } else {
+        Err(failures)
+    }
+}
+
 /// The real-I/O workloads the trajectory tracks: a GRACE hash join and a
 /// 2ᵏ-way external merge-sort at faithful scale (`scale` multiplies the
-/// base cardinalities; 1 is a sub-second smoke size).
-pub fn real_workloads(scale: u64) -> Result<Vec<RealRow>, RuntimeError> {
+/// base cardinalities; 1 is a sub-second smoke size). `disk_bound` runs
+/// them in the fsync/`O_DIRECT` disk-bounded timing mode.
+pub fn real_workloads(scale: u64, disk_bound: bool) -> Result<Vec<RealRow>, RuntimeError> {
     let scale = scale.max(1);
     let h = presets::hdd_ram(8 << 20);
-    let rt = Runtime::new(h);
+    let mut rt = Runtime::new(h);
+    if disk_bound {
+        rt = rt.with_pool(PoolConfig {
+            timing: ocas_runtime::TimingMode::DiskBounded,
+            ..PoolConfig::default()
+        });
+    }
 
     let grace = rt.run_plan(
         &Plan::GraceJoin {
@@ -240,10 +571,12 @@ pub fn real_workloads(scale: u64) -> Result<Vec<RealRow>, RuntimeError> {
     Ok(vec![
         RealRow {
             name: "grace-hash-join (real I/O)".into(),
+            scale,
             report: grace,
         },
         RealRow {
             name: "external-merge-sort (real I/O)".into(),
+            scale,
             report: sort,
         },
     ])

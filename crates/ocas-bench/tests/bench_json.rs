@@ -3,13 +3,16 @@
 //! the committed `BENCH_results.json` at the repo root must still parse
 //! and validate (the file is a trajectory point — regenerate it with
 //! `cargo run --release -p ocas-bench --bin bench_json`, don't hand-edit).
+//! The regression checker (`bench_json --check`) is pinned here too.
 
 use ocas_bench::json::Json;
-use ocas_bench::report::{bench_doc, real_workloads, validate_bench_doc, SCHEMA};
+use ocas_bench::report::{
+    bench_doc, check_regressions, engine_throughput, real_workloads, validate_bench_doc, SCHEMA,
+};
 
 #[test]
 fn fresh_real_document_validates() {
-    let real = real_workloads(1).expect("real workloads");
+    let real = real_workloads(1, false).expect("real workloads");
     assert_eq!(real.len(), 2);
     for r in &real {
         assert!(
@@ -20,7 +23,7 @@ fn fresh_real_document_validates() {
         assert!(r.report.wall_seconds > 0.0);
         assert!(r.report.sim_seconds > 0.0);
     }
-    let doc = bench_doc(&[], &[], None, &real);
+    let doc = bench_doc(&[], &[], None, &real, &[], None);
     validate_bench_doc(&doc).expect("schema");
     // And it survives a serialization round trip.
     let back = Json::parse(&doc.pretty()).expect("parse back");
@@ -47,6 +50,33 @@ fn committed_trajectory_point_validates() {
     }
     // And the full table (16 rows) from the committed regeneration.
     assert_eq!(doc.get("table1").unwrap().as_arr().unwrap().len(), 16);
+    // The engine section records the flat-batch before/after trajectory:
+    // every entry carries a before-number, and the refactor's headline
+    // claim (≥2x on the sort and join data paths) is pinned to the
+    // committed measurements.
+    let engine = doc.get("engine").unwrap().as_arr().unwrap();
+    assert!(!engine.is_empty(), "no engine throughput entries recorded");
+    for tpl in ["external-sort", "bnl-join", "grace-join"] {
+        let e = engine
+            .iter()
+            .find(|e| {
+                e.get("template").and_then(Json::as_str) == Some(tpl)
+                    && e.get("backend").and_then(Json::as_str) == Some("sim")
+            })
+            .unwrap_or_else(|| panic!("missing engine entry for {tpl}/sim"));
+        let speedup = e.get("speedup").and_then(Json::as_num).unwrap_or(0.0);
+        assert!(
+            speedup >= 2.0,
+            "committed {tpl} speedup {speedup} below the 2x flat-batch claim"
+        );
+    }
+    for e in engine {
+        let speedup = e.get("speedup").and_then(Json::as_num).unwrap_or(0.0);
+        assert!(
+            speedup >= 0.8,
+            "committed engine entry regressed vs its before-number: {e:?}"
+        );
+    }
 }
 
 #[test]
@@ -54,11 +84,99 @@ fn validator_rejects_malformed_documents() {
     let bad = Json::obj(vec![("schema", Json::str("something/else"))]);
     assert!(validate_bench_doc(&bad).is_err());
     let missing_field = Json::parse(
-        r#"{"schema": "ocas-bench/v1", "table1": [], "figure8": [],
+        r#"{"schema": "ocas-bench/v1", "table1": [], "figure8": [], "engine": [],
             "figures": {"paper_platform_devices": []},
             "real": [{"name": "x"}]}"#,
     )
     .unwrap();
     let err = validate_bench_doc(&missing_field).unwrap_err();
     assert!(err.contains("real[0]"), "{err}");
+    let missing_engine = Json::parse(
+        r#"{"schema": "ocas-bench/v1", "table1": [], "figure8": [],
+            "figures": {"paper_platform_devices": []}, "real": []}"#,
+    )
+    .unwrap();
+    let err = validate_bench_doc(&missing_engine).unwrap_err();
+    assert!(err.contains("engine"), "{err}");
+}
+
+#[test]
+fn engine_throughput_covers_every_template_on_both_backends() {
+    let rows = engine_throughput(1).expect("engine throughput");
+    let mut templates: Vec<&str> = rows.iter().map(|r| r.template.as_str()).collect();
+    templates.sort();
+    templates.dedup();
+    assert_eq!(
+        templates,
+        vec![
+            "aggregate",
+            "bnl-join",
+            "column-zip",
+            "dedup-sorted",
+            "external-sort",
+            "grace-join",
+            "merge-pass",
+        ]
+    );
+    for r in &rows {
+        assert!(r.rows_per_sec > 0.0, "{r:?}");
+        assert!(r.rows_in > 0, "{r:?}");
+    }
+    assert_eq!(
+        rows.iter().filter(|r| r.backend == "real").count(),
+        rows.len() / 2,
+        "every template measured on both backends"
+    );
+}
+
+fn check_fixture_scaled(wall: f64, bytes: f64, rps: f64, scale: u64) -> Json {
+    Json::parse(&format!(
+        r#"{{"schema": "ocas-bench/v1", "table1": [], "figure8": [],
+            "figures": {{"paper_platform_devices": []}},
+            "engine": [{{"template": "external-sort", "backend": "sim",
+                        "rows_in": 1000, "rows_out": 1000, "seconds": 1.0,
+                        "rows_per_sec": {rps}}}],
+            "real": [{{"name": "w", "scale": {scale}, "wall_seconds": {wall},
+                      "io_seconds": 0.1, "sim_seconds": 1.0, "output_rows": 10,
+                      "outputs_match": true,
+                      "bytes_read": {bytes}, "bytes_written": 0}}]}}"#
+    ))
+    .unwrap()
+}
+
+fn check_fixture(wall: f64, bytes: f64, rps: f64) -> Json {
+    check_fixture_scaled(wall, bytes, rps, 1)
+}
+
+#[test]
+fn regression_checker_accepts_within_tolerance_and_rejects_beyond() {
+    let baseline = check_fixture(0.1, 4096.0, 1_000_000.0);
+    // Identical run: fine; slower wall within tolerance: fine.
+    assert_eq!(check_regressions(&baseline, &baseline, 25.0), Ok(2));
+    let slower = check_fixture(2.0, 4096.0, 900_000.0);
+    assert_eq!(check_regressions(&slower, &baseline, 25.0), Ok(2));
+    // Wall blowing past the tolerance fails.
+    let blown = check_fixture(3.0, 4096.0, 1_000_000.0);
+    let errs = check_regressions(&blown, &baseline, 10.0).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("wall_seconds")), "{errs:?}");
+    // Byte totals are deterministic: any drift fails outright.
+    let drifted = check_fixture(0.1, 8192.0, 1_000_000.0);
+    let errs = check_regressions(&drifted, &baseline, 25.0).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("bytes_read")), "{errs:?}");
+    // Throughput collapse fails.
+    let collapsed = check_fixture(0.1, 4096.0, 10_000.0);
+    let errs = check_regressions(&collapsed, &baseline, 10.0).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("rows_per_sec")), "{errs:?}");
+    // A run at a different scale than the baseline skips the real
+    // comparison (different workload) instead of failing on row/byte
+    // drift — the nightly's scaled regeneration must not trip the gate.
+    let scaled = check_fixture_scaled(9.0, 999_999.0, 1_000_000.0, 20);
+    assert_eq!(check_regressions(&scaled, &baseline, 10.0), Ok(1));
+    // Unmatched names are skipped, not failed.
+    let empty = Json::parse(
+        r#"{"schema": "ocas-bench/v1", "table1": [], "figure8": [], "engine": [],
+            "figures": {"paper_platform_devices": []}, "real": []}"#,
+    )
+    .unwrap();
+    assert_eq!(check_regressions(&baseline, &empty, 25.0), Ok(0));
 }

@@ -1118,7 +1118,38 @@ impl<'h> CostEngine<'h> {
         let out_size = simplify(&annot.size());
         let loc = if self.numeric(&out_size) > self.budget() {
             let spill = self.spill.ok_or(CostError::NoSpillNode)?;
-            self.charge_write_path(&mut ev, root, spill, &out_size, ctx);
+            match def {
+                DefName::HashPartition(s) => {
+                    // `s`-way spill under a shared `b_in`-byte staging
+                    // buffer: each bucket owns `b_in / s` bytes, and every
+                    // bucket-buffer flush lands on its own spill region —
+                    // a seek per flush (`size·s / b_in` of them), with each
+                    // flush rounded up to the spill device's page. This is
+                    // exactly the request pattern the engine's partition
+                    // pass issues; charging it here is what keeps GRACE
+                    // estimates honest (act/opt ≈ 1) instead of the
+                    // b_out-streaming assumption that undercharged seeks
+                    // ~75x and let the optimizer pick absurd `s`.
+                    let s_sym = block_sym(s);
+                    let flushes = simplify(
+                        &(out_size.clone() * s_sym.clone() / Sym::var(B_IN)).max(Sym::one()),
+                    );
+                    ctx.usage.entry(root).or_default().push(Sym::var(B_IN));
+                    let mut path = self.h.path_to_root(spill);
+                    path.reverse(); // root … spill
+                    let start = path.iter().position(|n| *n == root).unwrap_or(0);
+                    for pair in path[start..].windows(2) {
+                        let (a, b) = (pair[0], pair[1]);
+                        let page = self.h.node(b).pagesize;
+                        let rounded = out_size
+                            .clone()
+                            .max(flushes.clone() * Sym::int(page as i128));
+                        ev.add_bytes(a, b, rounded);
+                        ev.add_init(a, b, flushes.clone());
+                    }
+                }
+                _ => self.charge_write_path(&mut ev, root, spill, &out_size, ctx),
+            }
             spill
         } else {
             root

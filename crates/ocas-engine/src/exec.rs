@@ -4,9 +4,14 @@
 //! same mode, issues the same request stream whether the backend is the
 //! device simulator (`StorageSim`, simulated seconds) or the real-I/O file
 //! backend of the `ocas-runtime` crate (actual temp files, wall seconds).
+//!
+//! The data path is **flat-batch**: tuples move as [`RowBuf`] blocks and
+//! operator inner loops work on borrowed row slices ([`RowsView`]) — no
+//! per-tuple heap allocation anywhere between a relation's buffer and the
+//! output sink.
 
 use crate::plan::{CpuModel, JoinPred, MergeKind, Mode, Output, Plan};
-use crate::rel::{encode_rows, Relation, Row};
+use crate::rel::{Relation, Row, RowBuf, RowsView};
 use ocas_storage::{CacheSim, CacheStats, StorageBackend, StorageError, StorageSim};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -54,8 +59,8 @@ pub struct ExecStats {
     pub output_rows: u64,
     /// Tuple comparisons performed/modeled.
     pub compares: u64,
-    /// Output rows materialized in faithful mode.
-    pub output: Option<Vec<Row>>,
+    /// Output rows materialized in faithful mode, one flat batch.
+    pub output: Option<RowBuf>,
     /// Cache statistics, when a cache simulator was attached.
     pub cache: Option<CacheStats>,
 }
@@ -80,12 +85,20 @@ pub struct Executor<B: StorageBackend = StorageSim> {
 /// contiguous), so writes are sequential on the device *unless* interleaved
 /// reads move the head — which is exactly the paper's read/write
 /// interference experiment.
+///
+/// Rows arrive as borrowed slices or whole [`RowsView`] blocks; they are
+/// appended to the flat `collected` batch and encoded straight into the
+/// staging byte buffer — no per-tuple allocation on either path.
 struct Sink {
     output: Output,
     tuple_bytes: u64,
     pending: u64,
     rows: u64,
-    collected: Option<Vec<Row>>,
+    collected: Option<RowBuf>,
+    /// `Some(col_bytes)` when every column encodes as the same number of
+    /// little-endian bytes (`tuple_bytes / columns`); `None` falls back to
+    /// padding/trimming full 8-byte columns to the declared tuple size.
+    codec: Option<usize>,
     /// Encoded-but-unflushed row bytes (faithful mode only): flushes carry
     /// this payload so a real backend writes genuine tuples, not filler.
     encoded: Vec<u8>,
@@ -100,46 +113,120 @@ struct Sink {
 const SINK_EXTENT: u64 = 1 << 30;
 
 impl Sink {
-    fn new(output: &Output, tuple_bytes: u64, faithful: bool) -> Sink {
+    fn new(output: &Output, tuple_bytes: u64, out_cols: usize, faithful: bool) -> Sink {
+        let want = tuple_bytes.max(1) as usize;
+        let ncols = out_cols.max(1);
+        let codec = if want % ncols == 0 && (1..=8).contains(&(want / ncols)) {
+            Some(want / ncols)
+        } else {
+            None
+        };
         Sink {
             output: output.clone(),
             tuple_bytes: tuple_bytes.max(1),
             pending: 0,
             rows: 0,
-            collected: if faithful { Some(Vec::new()) } else { None },
+            collected: faithful.then(|| RowBuf::new(ncols)),
+            codec,
             encoded: Vec::new(),
             extent: None,
             cursor: 0,
         }
     }
 
-    fn emit_row<B: StorageBackend>(&mut self, sm: &mut B, row: Row) -> Result<(), ExecError> {
-        if matches!(self.output, Output::ToDevice { .. }) && self.collected.is_some() {
-            // Encode in the on-disk tuple format `Relation::create`
-            // materializes: every column as `col_bytes` little-endian
-            // bytes (uniform-width columns, so `tuple_bytes / ncols`).
-            let want = self.tuple_bytes as usize;
-            let ncols = row.len().max(1);
-            if want % ncols == 0 && (1..=8).contains(&(want / ncols)) {
-                let cb = want / ncols;
-                for col in &row {
+    fn encoding(&self) -> bool {
+        matches!(self.output, Output::ToDevice { .. }) && self.collected.is_some()
+    }
+
+    /// Encodes the columns of one row in the on-disk tuple format
+    /// `Relation::create` materializes.
+    fn encode_cols<'a>(&mut self, cols: impl Iterator<Item = &'a i64>) {
+        match self.codec {
+            Some(8) => {
+                for col in cols {
+                    self.encoded.extend_from_slice(&col.to_le_bytes());
+                }
+            }
+            Some(cb) => {
+                for col in cols {
                     self.encoded.extend_from_slice(&col.to_le_bytes()[..cb]);
                 }
-            } else {
+            }
+            None => {
                 // Mixed-width tuples have no uniform column encoding; keep
                 // the byte accounting exact by padding/trimming full
                 // 8-byte columns to the declared tuple size.
-                let bytes = encode_rows(std::slice::from_ref(&row));
+                let want = self.tuple_bytes as usize;
+                let mut n = 0usize;
+                for col in cols {
+                    if n >= want {
+                        break;
+                    }
+                    let take = (want - n).min(8);
+                    self.encoded.extend_from_slice(&col.to_le_bytes()[..take]);
+                    n += take;
+                }
                 self.encoded
-                    .extend_from_slice(&bytes[..bytes.len().min(want)]);
-                self.encoded
-                    .extend(std::iter::repeat(0u8).take(want.saturating_sub(bytes.len())));
+                    .extend(std::iter::repeat(0u8).take(want - n.min(want)));
             }
+        }
+    }
+
+    /// Emits one row given as a slice.
+    fn emit_slice<B: StorageBackend>(&mut self, sm: &mut B, row: &[i64]) -> Result<(), ExecError> {
+        if self.encoding() {
+            self.encode_cols(row.iter());
         }
         if let Some(c) = &mut self.collected {
             c.push(row);
         }
         self.emit_bulk(sm, 1)
+    }
+
+    /// Emits the join row `a ++ b` without materializing it first.
+    fn emit_concat<B: StorageBackend>(
+        &mut self,
+        sm: &mut B,
+        a: &[i64],
+        b: &[i64],
+    ) -> Result<(), ExecError> {
+        if self.encoding() {
+            self.encode_cols(a.iter().chain(b.iter()));
+        }
+        if let Some(c) = &mut self.collected {
+            c.push_concat(a, b);
+        }
+        self.emit_bulk(sm, 1)
+    }
+
+    /// Emits a whole block of rows: one linear encode pass, one append.
+    fn emit_batch<B: StorageBackend>(
+        &mut self,
+        sm: &mut B,
+        view: RowsView<'_>,
+    ) -> Result<(), ExecError> {
+        if view.is_empty() {
+            return Ok(());
+        }
+        if self.encoding() {
+            match self.codec {
+                Some(8) => {
+                    self.encoded.reserve(view.as_slice().len() * 8);
+                    for col in view.as_slice() {
+                        self.encoded.extend_from_slice(&col.to_le_bytes());
+                    }
+                }
+                _ => {
+                    for row in view.iter() {
+                        self.encode_cols(row.iter());
+                    }
+                }
+            }
+        }
+        if let Some(c) = &mut self.collected {
+            c.extend_view(view);
+        }
+        self.emit_bulk(sm, view.len() as u64)
     }
 
     fn emit_bulk<B: StorageBackend>(&mut self, sm: &mut B, n: u64) -> Result<(), ExecError> {
@@ -195,10 +282,7 @@ impl Sink {
         Ok(())
     }
 
-    fn finish<B: StorageBackend>(
-        mut self,
-        sm: &mut B,
-    ) -> Result<(u64, Option<Vec<Row>>), ExecError> {
+    fn finish<B: StorageBackend>(mut self, sm: &mut B) -> Result<(u64, Option<RowBuf>), ExecError> {
         let pending = self.pending;
         self.flush_bytes(sm, pending)?;
         Ok((self.rows, self.collected))
@@ -361,7 +445,7 @@ impl<B: StorageBackend> Executor<B> {
         order_inputs: bool,
         output: &Output,
         compares: &mut u64,
-    ) -> Result<(u64, Option<Vec<Row>>), ExecError> {
+    ) -> Result<(u64, Option<RowBuf>), ExecError> {
         if k1 == 0 || k2 == 0 {
             return Err(ExecError::BadParameter("zero block size"));
         }
@@ -373,7 +457,8 @@ impl<B: StorageBackend> Executor<B> {
         let o = self.rel(oi)?.clone();
         let i = self.rel(ii)?.clone();
         let out_width = o.tuple_bytes + i.tuple_bytes;
-        let mut sink = Sink::new(output, out_width, self.faithful());
+        let out_cols = (o.width + i.width) as usize;
+        let mut sink = Sink::new(output, out_width, out_cols, self.faithful());
         // Expected match density for simulated mode.
         let density = match pred {
             JoinPred::Cross => 1.0,
@@ -399,10 +484,10 @@ impl<B: StorageBackend> Executor<B> {
                     *compares += in_n + on / (i.card.div_ceil(k2)).max(1);
                 }
                 if self.faithful() {
-                    let orows = o.block_rows(oidx, on).to_vec();
-                    let irows = i.block_rows(iidx, in_n).to_vec();
+                    let orows = o.block_rows(oidx, on);
+                    let irows = i.block_rows(iidx, in_n);
                     self.join_tile(
-                        &orows, &irows, oidx, iidx, &o, &i, tiling, pred, &mut sink, &mut emits,
+                        orows, irows, oidx, iidx, &o, &i, tiling, pred, &mut sink, &mut emits,
                     )?;
                 } else {
                     let expected = on as f64 * in_n as f64 * density + carry;
@@ -424,8 +509,8 @@ impl<B: StorageBackend> Executor<B> {
     #[allow(clippy::too_many_arguments)]
     fn join_tile(
         &mut self,
-        orows: &[Row],
-        irows: &[Row],
+        orows: RowsView<'_>,
+        irows: RowsView<'_>,
         obase: u64,
         ibase: u64,
         orel: &Relation,
@@ -443,29 +528,57 @@ impl<B: StorageBackend> Executor<B> {
             Some(t) => (t.outer.max(1) as usize, t.inner.max(1) as usize),
             None => (orows.len().max(1), irows.len().max(1)),
         };
+        let (ow, iw) = (orows.width(), irows.width());
         let mut ob = 0;
         while ob < orows.len() {
             let oend = (ob + to).min(orows.len());
             let mut ib = 0;
             while ib < irows.len() {
                 let iend = (ib + ti).min(irows.len());
-                for (odx, x) in orows[..oend].iter().enumerate().skip(ob) {
-                    if let Some(c) = &mut self.cache {
-                        c.access(oaddr(odx), orel.tuple_bytes);
-                    }
-                    for (idx, y) in irows[..iend].iter().enumerate().skip(ib) {
-                        if let Some(c) = &mut self.cache {
-                            c.access(iaddr(idx), irel.tuple_bytes);
+                if self.cache.is_none() {
+                    // Hot path: no per-access cache accounting — drive the
+                    // pair loop off chunk iterators over the flat tiles
+                    // (no per-row index arithmetic or bounds checks).
+                    let osub = &orows.as_slice()[ob * ow..oend * ow];
+                    let isub = &irows.as_slice()[ib * iw..iend * iw];
+                    for x in osub.chunks_exact(ow) {
+                        match pred {
+                            JoinPred::Cross => {
+                                for y in isub.chunks_exact(iw) {
+                                    *emits += 1;
+                                    sink.emit_concat(&mut self.sm, x, y)?;
+                                }
+                            }
+                            JoinPred::KeyEq => {
+                                let x0 = x[0];
+                                for y in isub.chunks_exact(iw) {
+                                    if x0 == y[0] {
+                                        *emits += 1;
+                                        sink.emit_concat(&mut self.sm, x, y)?;
+                                    }
+                                }
+                            }
                         }
-                        let matched = match pred {
-                            JoinPred::Cross => true,
-                            JoinPred::KeyEq => x.first() == y.first(),
-                        };
-                        if matched {
-                            *emits += 1;
-                            let mut row = x.clone();
-                            row.extend_from_slice(y);
-                            sink.emit_row(&mut self.sm, row)?;
+                    }
+                } else {
+                    for odx in ob..oend {
+                        let x = orows.row(odx);
+                        if let Some(c) = &mut self.cache {
+                            c.access(oaddr(odx), orel.tuple_bytes);
+                        }
+                        for idx in ib..iend {
+                            let y = irows.row(idx);
+                            if let Some(c) = &mut self.cache {
+                                c.access(iaddr(idx), irel.tuple_bytes);
+                            }
+                            let matched = match pred {
+                                JoinPred::Cross => true,
+                                JoinPred::KeyEq => x.first() == y.first(),
+                            };
+                            if matched {
+                                *emits += 1;
+                                sink.emit_concat(&mut self.sm, x, y)?;
+                            }
                         }
                     }
                 }
@@ -487,24 +600,26 @@ impl<B: StorageBackend> Executor<B> {
         pred: JoinPred,
         output: &Output,
         compares: &mut u64,
-    ) -> Result<(u64, Option<Vec<Row>>), ExecError> {
+    ) -> Result<(u64, Option<RowBuf>), ExecError> {
         if partitions == 0 {
             return Err(ExecError::BadParameter("zero partitions"));
         }
         let l = self.rel(left)?.clone();
         let r = self.rel(right)?.clone();
         let out_width = l.tuple_bytes + r.tuple_bytes;
-        let mut sink = Sink::new(output, out_width, self.faithful());
+        let out_cols = (l.width + r.width) as usize;
+        let mut sink = Sink::new(output, out_width, out_cols, self.faithful());
         let mut emits = 0u64;
         let mut hashes = 0u64;
 
-        // Partition pass: stream each relation, hash rows into buckets,
-        // spill bucket buffers as they fill.
+        // Partition pass: stream each relation, hash rows into flat bucket
+        // batches, spill bucket buffers as they fill.
         let spill_partition = |this: &mut Executor<B>,
                                rel: &Relation,
                                hashes: &mut u64|
-         -> Result<Vec<Vec<Row>>, ExecError> {
-            let mut buckets: Vec<Vec<Row>> = vec![Vec::new(); partitions as usize];
+         -> Result<Vec<RowBuf>, ExecError> {
+            let width = rel.width.max(1) as usize;
+            let mut buckets: Vec<RowBuf> = vec![RowBuf::new(width); partitions as usize];
             let mut bucket_fill: Vec<u64> = vec![0; partitions as usize];
             let per_bucket_buf = (buffer_bytes / partitions.max(1)).max(rel.tuple_bytes);
             let block = (buffer_bytes / rel.tuple_bytes).max(1);
@@ -513,10 +628,10 @@ impl<B: StorageBackend> Executor<B> {
                 let n = rel.read_block(&mut this.sm, idx, block)?;
                 *hashes += n;
                 if this.faithful() {
-                    for row in rel.block_rows(idx, n) {
+                    for row in rel.block_rows(idx, n).iter() {
                         let key = row.first().copied().unwrap_or(0);
                         let b = (ocal::stable_hash(&ocal::Value::Int(key)) % partitions) as usize;
-                        buckets[b].push(row.clone());
+                        buckets[b].push(row);
                         bucket_fill[b] += rel.tuple_bytes;
                         if bucket_fill[b] >= per_bucket_buf {
                             let f = this.sm.alloc(spill, bucket_fill[b])?;
@@ -544,12 +659,11 @@ impl<B: StorageBackend> Executor<B> {
                 }
                 idx += n.max(1);
             }
-            for (b, fill) in bucket_fill.iter().enumerate() {
+            for fill in bucket_fill.iter() {
                 if *fill > 0 {
                     let f = this.sm.alloc(spill, *fill)?;
                     this.sm.write(f, 0, *fill)?;
                 }
-                let _ = b;
             }
             Ok(buckets)
         };
@@ -578,32 +692,29 @@ impl<B: StorageBackend> Executor<B> {
                     let f = self.sm.alloc(spill, rbytes)?;
                     self.sm.read(f, 0, rbytes)?;
                 }
-                // In-memory hash join of the pair.
-                let mut table: BTreeMap<i64, Vec<&Row>> = BTreeMap::new();
-                for row in lb {
-                    table.entry(row[0]).or_default().push(row);
+                // In-memory hash join of the pair: build an index table
+                // over the left batch, probe with the right rows.
+                let mut table: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
+                for (n, row) in lb.iter().enumerate() {
+                    table.entry(row[0]).or_default().push(n as u32);
                 }
                 hashes += (lb.len() + rb.len()) as u64;
-                for y in rb {
+                for y in rb.iter() {
                     match pred {
                         JoinPred::KeyEq => {
                             if let Some(matches) = table.get(&y[0]) {
                                 *compares += matches.len() as u64;
                                 for x in matches {
                                     emits += 1;
-                                    let mut row = (*x).clone();
-                                    row.extend_from_slice(y);
-                                    sink.emit_row(&mut self.sm, row)?;
+                                    sink.emit_concat(&mut self.sm, lb.row(*x as usize), y)?;
                                 }
                             }
                         }
                         JoinPred::Cross => {
-                            for x in lb {
+                            for x in lb.iter() {
                                 *compares += 1;
                                 emits += 1;
-                                let mut row = x.clone();
-                                row.extend_from_slice(y);
-                                sink.emit_row(&mut self.sm, row)?;
+                                sink.emit_concat(&mut self.sm, x, y)?;
                             }
                         }
                     }
@@ -647,7 +758,7 @@ impl<B: StorageBackend> Executor<B> {
         scratch: &str,
         output: &Output,
         compares: &mut u64,
-    ) -> Result<(u64, Option<Vec<Row>>), ExecError> {
+    ) -> Result<(u64, Option<RowBuf>), ExecError> {
         if fan_in < 2 {
             return Err(ExecError::BadParameter("fan-in must be >= 2"));
         }
@@ -709,14 +820,12 @@ impl<B: StorageBackend> Executor<B> {
             first = false;
         }
 
-        // Final output.
-        let mut sink = Sink::new(output, tb, self.faithful());
+        // Final output: sort the flat batch in place, emit it whole.
+        let mut sink = Sink::new(output, tb, rel.width.max(1) as usize, self.faithful());
         if self.faithful() {
             let mut rows = rel.rows.clone().ok_or(ExecError::MissingRows(input))?;
             rows.sort();
-            for row in rows {
-                sink.emit_row(&mut self.sm, row)?;
-            }
+            sink.emit_batch(&mut self.sm, rows.as_view())?;
         } else {
             sink.emit_bulk(&mut self.sm, n)?;
         }
@@ -733,13 +842,18 @@ impl<B: StorageBackend> Executor<B> {
         b_in: u64,
         output: &Output,
         compares: &mut u64,
-    ) -> Result<(u64, Option<Vec<Row>>), ExecError> {
+    ) -> Result<(u64, Option<RowBuf>), ExecError> {
         if b_in == 0 {
             return Err(ExecError::BadParameter("zero merge buffer"));
         }
         let l = self.rel(left)?.clone();
         let r = self.rel(right)?.clone();
-        let mut sink = Sink::new(output, l.tuple_bytes, self.faithful());
+        let mut sink = Sink::new(
+            output,
+            l.tuple_bytes,
+            l.width.max(1) as usize,
+            self.faithful(),
+        );
 
         // Read both inputs in alternating b_in blocks (streaming merge),
         // emitting output as the stream advances so writes interleave with
@@ -787,10 +901,9 @@ impl<B: StorageBackend> Executor<B> {
         if self.faithful() {
             let a = l.rows.as_ref().ok_or(ExecError::MissingRows(left))?;
             let b = r.rows.as_ref().ok_or(ExecError::MissingRows(right))?;
-            for row in merge_rows(a, b, kind) {
-                emits += 1;
-                sink.emit_row(&mut self.sm, row)?;
-            }
+            let merged = merge_bufs(a, b, kind);
+            emits += merged.len() as u64;
+            sink.emit_batch(&mut self.sm, merged.as_view())?;
         }
         self.charge_cpu(*compares, emits, 0);
         let (rows, collected) = sink.finish(&mut self.sm)?;
@@ -802,7 +915,7 @@ impl<B: StorageBackend> Executor<B> {
         columns: &[usize],
         b_in: u64,
         output: &Output,
-    ) -> Result<(u64, Option<Vec<Row>>), ExecError> {
+    ) -> Result<(u64, Option<RowBuf>), ExecError> {
         if columns.is_empty() || b_in == 0 {
             return Err(ExecError::BadParameter("columns/b_in"));
         }
@@ -812,7 +925,10 @@ impl<B: StorageBackend> Executor<B> {
             .collect::<Result<_, _>>()?;
         let card = rels.iter().map(|r| r.card).min().unwrap_or(0);
         let out_bytes: u64 = rels.iter().map(|r| r.tuple_bytes).sum();
-        let mut sink = Sink::new(output, out_bytes, self.faithful());
+        let out_cols: usize = rels.iter().map(|r| r.width.max(1) as usize).sum();
+        let mut sink = Sink::new(output, out_bytes, out_cols, self.faithful());
+        // One reused scratch row for the zipped tuple (no per-row alloc).
+        let mut zipped: Vec<i64> = Vec::with_capacity(out_cols);
         // Round-robin block reads across the columns (seeks between files).
         let mut idx = 0;
         while idx < card {
@@ -822,11 +938,11 @@ impl<B: StorageBackend> Executor<B> {
             }
             if self.faithful() {
                 for off in 0..n {
-                    let mut row = Row::new();
+                    zipped.clear();
                     for r in &rels {
-                        row.extend_from_slice(&r.block_rows(idx + off, 1)[0]);
+                        zipped.extend_from_slice(r.block_rows(idx + off, 1).row(0));
                     }
-                    sink.emit_row(&mut self.sm, row)?;
+                    sink.emit_slice(&mut self.sm, &zipped)?;
                 }
             } else {
                 sink.emit_bulk(&mut self.sm, n)?;
@@ -844,14 +960,21 @@ impl<B: StorageBackend> Executor<B> {
         b_in: u64,
         output: &Output,
         compares: &mut u64,
-    ) -> Result<(u64, Option<Vec<Row>>), ExecError> {
+    ) -> Result<(u64, Option<RowBuf>), ExecError> {
         if b_in == 0 {
             return Err(ExecError::BadParameter("zero dedup buffer"));
         }
         let rel = self.rel(input)?.clone();
-        let mut sink = Sink::new(output, rel.tuple_bytes, self.faithful());
+        let mut sink = Sink::new(
+            output,
+            rel.tuple_bytes,
+            rel.width.max(1) as usize,
+            self.faithful(),
+        );
         let mut idx = 0;
-        let mut last: Option<Row> = None;
+        // The last emitted row, in a reused buffer (no per-row alloc).
+        let mut last: Vec<i64> = Vec::new();
+        let mut have_last = false;
         let mut emitted = 0u64;
         while idx < rel.card {
             let n = rel.read_block(&mut self.sm, idx, b_in)?;
@@ -861,11 +984,13 @@ impl<B: StorageBackend> Executor<B> {
             let _ = rel.read_block(&mut self.sm, idx.saturating_sub(1), b_in)?;
             *compares += n;
             if self.faithful() {
-                for row in rel.block_rows(idx, n) {
-                    if last.as_ref() != Some(row) {
+                for row in rel.block_rows(idx, n).iter() {
+                    if !have_last || last != row {
                         emitted += 1;
-                        sink.emit_row(&mut self.sm, row.clone())?;
-                        last = Some(row.clone());
+                        sink.emit_slice(&mut self.sm, row)?;
+                        last.clear();
+                        last.extend_from_slice(row);
+                        have_last = true;
                     }
                 }
             } else {
@@ -887,7 +1012,7 @@ impl<B: StorageBackend> Executor<B> {
         input: usize,
         b_in: u64,
         compares: &mut u64,
-    ) -> Result<(u64, Option<Vec<Row>>), ExecError> {
+    ) -> Result<(u64, Option<RowBuf>), ExecError> {
         if b_in == 0 {
             return Err(ExecError::BadParameter("zero aggregate buffer"));
         }
@@ -911,7 +1036,7 @@ impl<B: StorageBackend> Executor<B> {
             let n = rel.read_block(&mut self.sm, idx, step)?;
             *compares += n;
             if self.faithful() {
-                for row in rel.block_rows(idx, n) {
+                for row in rel.block_rows(idx, n).iter() {
                     sum = sum.wrapping_add(row[0]);
                     count += 1;
                 }
@@ -921,7 +1046,7 @@ impl<B: StorageBackend> Executor<B> {
         self.charge_cpu(*compares, 1, 0);
         let avg = if count > 0 { sum / count } else { 0 };
         let output = if self.faithful() {
-            Some(vec![vec![avg]])
+            Some(RowBuf::from_rows(&[vec![avg]]))
         } else {
             None
         };
@@ -929,36 +1054,39 @@ impl<B: StorageBackend> Executor<B> {
     }
 }
 
-/// Row-level reference semantics of the merge operators (faithful mode).
-pub fn merge_rows(a: &[Row], b: &[Row], kind: MergeKind) -> Vec<Row> {
-    let mut out = Vec::new();
+/// Batch-level reference semantics of the merge operators (faithful mode):
+/// merges two sorted flat batches into a fresh one, comparing and copying
+/// row slices (no per-tuple allocation).
+pub fn merge_bufs(a: &RowBuf, b: &RowBuf, kind: MergeKind) -> RowBuf {
+    let width = a.width().max(b.width());
+    let mut out = RowBuf::with_capacity(width, a.len() + b.len());
     let (mut i, mut j) = (0usize, 0usize);
     match kind {
         MergeKind::MultisetUnionSorted => {
             while i < a.len() || j < b.len() {
-                let take_a = j >= b.len() || (i < a.len() && a[i] <= b[j]);
+                let take_a = j >= b.len() || (i < a.len() && a.row(i) <= b.row(j));
                 if take_a {
-                    out.push(a[i].clone());
+                    out.push(a.row(i));
                     i += 1;
                 } else {
-                    out.push(b[j].clone());
+                    out.push(b.row(j));
                     j += 1;
                 }
             }
         }
         MergeKind::SetUnion => {
             while i < a.len() || j < b.len() {
-                let take_a = j >= b.len() || (i < a.len() && a[i] <= b[j]);
+                let take_a = j >= b.len() || (i < a.len() && a.row(i) <= b.row(j));
                 let row = if take_a {
-                    let r = a[i].clone();
+                    let r = a.row(i);
                     i += 1;
                     r
                 } else {
-                    let r = b[j].clone();
+                    let r = b.row(j);
                     j += 1;
                     r
                 };
-                if out.last() != Some(&row) {
+                if out.is_empty() || out.row(out.len() - 1) != row {
                     out.push(row);
                 }
             }
@@ -966,51 +1094,57 @@ pub fn merge_rows(a: &[Row], b: &[Row], kind: MergeKind) -> Vec<Row> {
         MergeKind::MultisetUnionVm => {
             // Rows are <value, multiplicity> sorted by value.
             while i < a.len() || j < b.len() {
-                if i < a.len() && j < b.len() && a[i][0] == b[j][0] {
-                    out.push(vec![a[i][0], a[i][1] + b[j][1]]);
+                if i < a.len() && j < b.len() && a.row(i)[0] == b.row(j)[0] {
+                    out.push(&[a.row(i)[0], a.row(i)[1] + b.row(j)[1]]);
                     i += 1;
                     j += 1;
-                } else if j >= b.len() || (i < a.len() && a[i][0] < b[j][0]) {
-                    out.push(a[i].clone());
+                } else if j >= b.len() || (i < a.len() && a.row(i)[0] < b.row(j)[0]) {
+                    out.push(a.row(i));
                     i += 1;
                 } else {
-                    out.push(b[j].clone());
+                    out.push(b.row(j));
                     j += 1;
                 }
             }
         }
         MergeKind::MultisetDiffSorted => {
             while i < a.len() {
-                if j < b.len() && b[j] < a[i] {
+                if j < b.len() && b.row(j) < a.row(i) {
                     j += 1;
-                } else if j < b.len() && b[j] == a[i] {
+                } else if j < b.len() && b.row(j) == a.row(i) {
                     i += 1;
                     j += 1;
                 } else {
-                    out.push(a[i].clone());
+                    out.push(a.row(i));
                     i += 1;
                 }
             }
         }
         MergeKind::MultisetDiffVm => {
             while i < a.len() {
-                if j < b.len() && b[j][0] < a[i][0] {
+                if j < b.len() && b.row(j)[0] < a.row(i)[0] {
                     j += 1;
-                } else if j < b.len() && b[j][0] == a[i][0] {
-                    let m = a[i][1] - b[j][1];
+                } else if j < b.len() && b.row(j)[0] == a.row(i)[0] {
+                    let m = a.row(i)[1] - b.row(j)[1];
                     if m > 0 {
-                        out.push(vec![a[i][0], m]);
+                        out.push(&[a.row(i)[0], m]);
                     }
                     i += 1;
                     j += 1;
                 } else {
-                    out.push(a[i].clone());
+                    out.push(a.row(i));
                     i += 1;
                 }
             }
         }
     }
     out
+}
+
+/// Row-level reference semantics of the merge operators over boundary
+/// rows — kept as the oracle the batched [`merge_bufs`] is tested against.
+pub fn merge_rows(a: &[Row], b: &[Row], kind: MergeKind) -> Vec<Row> {
+    merge_bufs(&RowBuf::from_rows(a), &RowBuf::from_rows(b), kind).to_rows()
 }
 
 #[cfg(test)]
@@ -1073,8 +1207,8 @@ mod tests {
             2,
         )
         .unwrap();
-        let rrows = r.rows.clone().unwrap();
-        let srows = s.rows.clone().unwrap();
+        let rrows = r.rows.clone().unwrap().to_rows();
+        let srows = s.rows.clone().unwrap().to_rows();
         let ri = ex.add_relation(r);
         let si = ex.add_relation(s);
         let stats = ex
@@ -1096,6 +1230,7 @@ mod tests {
         let got: Vec<Row> = stats
             .output
             .unwrap()
+            .to_rows()
             .into_iter()
             .map(|row| {
                 // swap back to R-major layout when S went outside
@@ -1126,8 +1261,8 @@ mod tests {
             4,
         )
         .unwrap();
-        let rrows = r.rows.clone().unwrap();
-        let srows = s.rows.clone().unwrap();
+        let rrows = r.rows.clone().unwrap().to_rows();
+        let srows = s.rows.clone().unwrap().to_rows();
         let ri = ex.add_relation(r);
         let si = ex.add_relation(s);
         let stats = ex
@@ -1143,7 +1278,7 @@ mod tests {
             .unwrap();
         let expect = brute_join(&rrows, &srows, JoinPred::KeyEq);
         assert_eq!(
-            sorted(stats.output.unwrap()),
+            sorted(stats.output.unwrap().to_rows()),
             sorted(expect),
             "GRACE must produce exactly the join result"
         );
@@ -1166,7 +1301,7 @@ mod tests {
             .unwrap();
         let out = stats.output.unwrap();
         assert_eq!(out.len(), 1000);
-        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        assert!(out.is_sorted());
     }
 
     #[test]
@@ -1250,8 +1385,8 @@ mod tests {
             7,
         )
         .unwrap();
-        let arows = a.rows.clone().unwrap();
-        let brows = b.rows.clone().unwrap();
+        let abuf = a.rows.clone().unwrap();
+        let bbuf = b.rows.clone().unwrap();
         let ai = ex.add_relation(a);
         let bi = ex.add_relation(b);
         let stats = ex
@@ -1265,7 +1400,7 @@ mod tests {
             .unwrap();
         assert_eq!(
             stats.output.unwrap(),
-            merge_rows(&arows, &brows, MergeKind::MultisetUnionSorted)
+            merge_bufs(&abuf, &bbuf, MergeKind::MultisetUnionSorted)
         );
         assert!(stats.seconds > 0.0);
     }
@@ -1289,8 +1424,8 @@ mod tests {
         let out = stats.output.unwrap();
         assert_eq!(out.len(), 100);
         for (i, row) in out.iter().enumerate() {
-            assert_eq!(row[0], r1[i][0]);
-            assert_eq!(row[1], r2[i][0]);
+            assert_eq!(row[0], r1.row(i)[0]);
+            assert_eq!(row[1], r2.row(i)[0]);
         }
     }
 
@@ -1331,7 +1466,7 @@ mod tests {
             })
             .unwrap();
         let sum: i64 = rows.iter().map(|r| r[0]).sum();
-        assert_eq!(stats.output.unwrap()[0][0], sum / rows.len() as i64);
+        assert_eq!(stats.output.unwrap().row(0)[0], sum / rows.len() as i64);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod lower;
 pub mod plan;
 pub mod rel;
 
-pub use exec::{ExecError, ExecStats, Executor};
+pub use exec::{merge_bufs, merge_rows, ExecError, ExecStats, Executor};
 pub use lower::{lower, LowerError, WorkloadHint};
 pub use plan::{CpuModel, JoinPred, MergeKind, Mode, Output, Plan};
-pub use rel::{decode_rows, encode_rows, RelSpec, Relation, Row};
+pub use rel::{decode_rows, encode_rows, RelSpec, Relation, Row, RowBuf, RowsView};

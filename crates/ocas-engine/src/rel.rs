@@ -1,15 +1,294 @@
-//! Relations: on-device extents of fixed-width integer tuples.
+//! Relations: on-device extents of fixed-width integer tuples, and the
+//! flat batch representation ([`RowBuf`]) the whole data path moves them
+//! in.
 
 use ocas_storage::{FileId, StorageBackend, StorageError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// A row of 64-bit integers.
+/// A row of 64-bit integers — the *boundary* representation (OCAL
+/// interpreter values, test fixtures, reports). The hot data path never
+/// allocates one of these per tuple; it moves [`RowBuf`] batches.
 pub type Row = Vec<i64>;
 
-/// Serializes rows as little-endian `i64` columns, row-major — the on-disk
-/// tuple format shared by the simulator's accounting, the real-I/O backend
-/// and the generated C programs' input files.
+/// A flat, fixed-width batch of rows: `len() * width()` machine integers
+/// in row-major order, one heap allocation per batch.
+///
+/// This is the engine's unit of data flow. Every operator inner loop works
+/// on row *slices* borrowed from a `RowBuf` (no per-tuple allocation), the
+/// sort is in place over the flat buffer, and encode/decode to the on-disk
+/// little-endian format are single linear passes that the compiler lowers
+/// to `memcpy`-like loops on little-endian targets.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RowBuf {
+    data: Vec<i64>,
+    width: usize,
+}
+
+impl RowBuf {
+    /// An empty batch of `width`-column rows.
+    pub fn new(width: usize) -> RowBuf {
+        RowBuf {
+            data: Vec::new(),
+            width: width.max(1),
+        }
+    }
+
+    /// An empty batch with room for `rows` rows.
+    pub fn with_capacity(width: usize, rows: usize) -> RowBuf {
+        RowBuf {
+            data: Vec::with_capacity(rows * width.max(1)),
+            width: width.max(1),
+        }
+    }
+
+    /// Wraps an existing row-major buffer (length must be a multiple of
+    /// `width`).
+    pub fn from_vec(data: Vec<i64>, width: usize) -> RowBuf {
+        let width = width.max(1);
+        debug_assert_eq!(data.len() % width, 0, "partial row");
+        RowBuf { data, width }
+    }
+
+    /// Builds a batch from boundary rows (each must have `width` columns).
+    pub fn from_rows(rows: &[Row]) -> RowBuf {
+        let width = rows.first().map_or(1, |r| r.len().max(1));
+        let mut out = RowBuf::with_capacity(width, rows.len());
+        for r in rows {
+            out.push(r);
+        }
+        out
+    }
+
+    /// Converts to boundary rows (allocates one `Vec` per row — reports
+    /// and interpreter comparisons only, never the hot path).
+    pub fn to_rows(&self) -> Vec<Row> {
+        self.iter().map(|r| r.to_vec()).collect()
+    }
+
+    /// Columns per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.width
+    }
+
+    /// True when no rows are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Drops all rows, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// The `i`-th row as a slice.
+    pub fn row(&self, i: usize) -> &[i64] {
+        &self.data[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Iterates over the rows as slices.
+    pub fn iter(&self) -> impl Iterator<Item = &[i64]> {
+        self.data.chunks_exact(self.width)
+    }
+
+    /// The raw row-major data.
+    pub fn as_slice(&self) -> &[i64] {
+        &self.data
+    }
+
+    /// Appends one row (must have `width` columns).
+    pub fn push(&mut self, row: &[i64]) {
+        debug_assert_eq!(row.len(), self.width, "row width mismatch");
+        self.data.extend_from_slice(row);
+    }
+
+    /// Appends the concatenation `a ++ b` as one row (joins).
+    pub fn push_concat(&mut self, a: &[i64], b: &[i64]) {
+        debug_assert_eq!(a.len() + b.len(), self.width, "row width mismatch");
+        self.data.extend_from_slice(a);
+        self.data.extend_from_slice(b);
+    }
+
+    /// Appends raw row-major data of the same width.
+    pub fn extend_raw(&mut self, rows: &[i64]) {
+        debug_assert_eq!(rows.len() % self.width, 0, "partial row");
+        self.data.extend_from_slice(rows);
+    }
+
+    /// Appends every row of `view`.
+    pub fn extend_view(&mut self, view: RowsView<'_>) {
+        debug_assert_eq!(view.width, self.width, "row width mismatch");
+        self.data.extend_from_slice(view.data);
+    }
+
+    /// A borrowed view of rows `start .. start + count` (clamped).
+    pub fn view(&self, start: usize, count: usize) -> RowsView<'_> {
+        let n = self.len();
+        let start = start.min(n);
+        let end = (start + count).min(n);
+        RowsView {
+            data: &self.data[start * self.width..end * self.width],
+            width: self.width,
+        }
+    }
+
+    /// A view of the whole batch.
+    pub fn as_view(&self) -> RowsView<'_> {
+        RowsView {
+            data: &self.data,
+            width: self.width,
+        }
+    }
+
+    /// Sorts the rows lexicographically, in place over the flat buffer.
+    ///
+    /// Width-1 batches sort the raw buffer directly; wider rows sort an
+    /// index permutation and gather once (one linear pass, no per-row
+    /// allocation).
+    pub fn sort(&mut self) {
+        if self.width == 1 {
+            self.data.sort_unstable();
+            return;
+        }
+        let w = self.width;
+        let n = self.len();
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        idx.sort_unstable_by(|&a, &b| {
+            self.data[a as usize * w..(a as usize + 1) * w]
+                .cmp(&self.data[b as usize * w..(b as usize + 1) * w])
+        });
+        let mut out = Vec::with_capacity(self.data.len());
+        for i in idx {
+            out.extend_from_slice(&self.data[i as usize * w..(i as usize + 1) * w]);
+        }
+        self.data = out;
+    }
+
+    /// True when the rows are lexicographically non-decreasing.
+    pub fn is_sorted(&self) -> bool {
+        (1..self.len()).all(|i| self.row(i - 1) <= self.row(i))
+    }
+
+    /// Removes adjacent duplicate rows, in place.
+    pub fn dedup(&mut self) {
+        let w = self.width;
+        let n = self.len();
+        if n <= 1 {
+            return;
+        }
+        let mut keep = w; // the first row always stays
+        for i in 1..n {
+            if self.data[keep - w..keep] != self.data[i * w..(i + 1) * w] {
+                self.data.copy_within(i * w..(i + 1) * w, keep);
+                keep += w;
+            }
+        }
+        self.data.truncate(keep);
+    }
+
+    /// Encodes every row into `out` in the on-disk format: each column as
+    /// its `col_bytes` low-order little-endian bytes. One linear pass; the
+    /// `col_bytes == 8` fast path compiles to a `memcpy`-like loop on
+    /// little-endian targets.
+    pub fn encode_into(&self, col_bytes: usize, out: &mut Vec<u8>) {
+        let cb = col_bytes.clamp(1, 8);
+        out.reserve(self.data.len() * cb);
+        if cb == 8 {
+            for v in &self.data {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        } else {
+            for v in &self.data {
+                out.extend_from_slice(&v.to_le_bytes()[..cb]);
+            }
+        }
+    }
+
+    /// Encodes to a fresh byte buffer (8-byte columns).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(8, &mut out);
+        out
+    }
+
+    /// Appends the full rows encoded in `bytes` (8-byte LE columns,
+    /// trailing partial rows ignored) — the inverse of [`encode`].
+    ///
+    /// [`encode`]: RowBuf::encode
+    pub fn decode_into(&mut self, bytes: &[u8]) {
+        let row_bytes = self.width * 8;
+        let whole = bytes.len() / row_bytes * row_bytes;
+        self.data.reserve(whole / 8);
+        for c in bytes[..whole].chunks_exact(8) {
+            self.data
+                .push(i64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+    }
+
+    /// Decodes a fresh batch from `bytes` for a known tuple width.
+    pub fn decode(bytes: &[u8], width: usize) -> RowBuf {
+        let mut out = RowBuf::new(width);
+        out.decode_into(bytes);
+        out
+    }
+}
+
+/// A borrowed, fixed-width view over rows of a [`RowBuf`] (or any
+/// row-major `i64` slice): the type operator inner loops consume.
+#[derive(Debug, Clone, Copy)]
+pub struct RowsView<'a> {
+    data: &'a [i64],
+    width: usize,
+}
+
+impl<'a> RowsView<'a> {
+    /// An empty view.
+    pub fn empty() -> RowsView<'static> {
+        RowsView {
+            data: &[],
+            width: 1,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len() / self.width
+    }
+
+    /// True when no rows are visible.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Columns per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The `i`-th row as a slice.
+    pub fn row(&self, i: usize) -> &'a [i64] {
+        &self.data[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Iterates over the rows as slices.
+    pub fn iter(&self) -> impl Iterator<Item = &'a [i64]> {
+        self.data.chunks_exact(self.width)
+    }
+
+    /// The raw row-major data.
+    pub fn as_slice(&self) -> &'a [i64] {
+        self.data
+    }
+}
+
+/// Serializes boundary rows as little-endian `i64` columns, row-major —
+/// the **reference codec** the proptests pin [`RowBuf::encode`] against.
+/// The hot path uses [`RowBuf::encode_into`] instead.
 pub fn encode_rows(rows: &[Row]) -> Vec<u8> {
     let width = rows.first().map_or(0, |r| r.len());
     let mut out = Vec::with_capacity(rows.len() * width * 8);
@@ -21,7 +300,8 @@ pub fn encode_rows(rows: &[Row]) -> Vec<u8> {
     out
 }
 
-/// Inverse of [`encode_rows`] for a known tuple width (in columns).
+/// Inverse of [`encode_rows`] for a known tuple width (in columns) — the
+/// reference decoder mirroring [`RowBuf::decode`].
 pub fn decode_rows(bytes: &[u8], width: usize) -> Vec<Row> {
     assert!(width > 0, "zero-width tuples");
     let row_bytes = width * 8;
@@ -115,8 +395,8 @@ pub struct Relation {
     pub width: u32,
     /// Key range used for generation (drives simulated join selectivity).
     pub key_range: u64,
-    /// Real rows (faithful mode only).
-    pub rows: Option<Vec<Row>>,
+    /// Real rows (faithful mode only), one flat batch.
+    pub rows: Option<RowBuf>,
 }
 
 impl Relation {
@@ -140,13 +420,12 @@ impl Relation {
             } else {
                 spec.key_range
             };
-            let mut rows: Vec<Row> = (0..spec.card)
-                .map(|_| {
-                    (0..spec.width)
-                        .map(|_| rng.gen_range(0..range as i64 + 1))
-                        .collect()
-                })
-                .collect();
+            let width = spec.width.max(1) as usize;
+            let mut data = Vec::with_capacity(spec.card as usize * width);
+            for _ in 0..spec.card * width as u64 {
+                data.push(rng.gen_range(0..range as i64 + 1));
+            }
+            let mut rows = RowBuf::from_vec(data, width);
             if spec.sorted {
                 rows.sort();
             }
@@ -154,12 +433,8 @@ impl Relation {
             // width — the in-memory rows stay authoritative; the file holds
             // the on-disk representation.
             let cb = spec.col_bytes.clamp(1, 8) as usize;
-            let mut encoded = Vec::with_capacity((bytes.min(1 << 30)) as usize);
-            for row in &rows {
-                for col in row {
-                    encoded.extend_from_slice(&col.to_le_bytes()[..cb]);
-                }
-            }
+            let mut encoded = Vec::new();
+            rows.encode_into(cb, &mut encoded);
             sm.materialize(file, 0, &encoded)?;
             Some(rows)
         } else {
@@ -199,15 +474,11 @@ impl Relation {
         Ok(n)
     }
 
-    /// The rows of a block (faithful mode).
-    pub fn block_rows(&self, index: u64, count: u64) -> &[Row] {
+    /// The rows of a block (faithful mode), as a borrowed flat view.
+    pub fn block_rows(&self, index: u64, count: u64) -> RowsView<'_> {
         match &self.rows {
-            Some(rows) => {
-                let start = (index as usize).min(rows.len());
-                let end = ((index + count) as usize).min(rows.len());
-                &rows[start..end]
-            }
-            None => &[],
+            Some(rows) => rows.view(index as usize, count as usize),
+            None => RowsView::empty(),
         }
     }
 }
@@ -225,6 +496,40 @@ mod tests {
         assert_eq!(bytes.len(), 3 * 2 * 8);
         assert_eq!(decode_rows(&bytes, 2), rows);
         assert!(decode_rows(&[], 1).is_empty());
+        // The flat codec agrees with the reference codec both ways.
+        let buf = RowBuf::from_rows(&rows);
+        assert_eq!(buf.encode(), bytes);
+        assert_eq!(RowBuf::decode(&bytes, 2), buf);
+    }
+
+    #[test]
+    fn rowbuf_sort_dedup_and_views() {
+        let mut buf = RowBuf::from_rows(&[vec![3, 1], vec![1, 2], vec![3, 1], vec![1, 0]]);
+        buf.sort();
+        assert_eq!(
+            buf.to_rows(),
+            vec![vec![1, 0], vec![1, 2], vec![3, 1], vec![3, 1]]
+        );
+        assert!(buf.is_sorted());
+        buf.dedup();
+        assert_eq!(buf.to_rows(), vec![vec![1, 0], vec![1, 2], vec![3, 1]]);
+        let v = buf.view(1, 5);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.row(0), &[1, 2]);
+        let mut out = RowBuf::new(2);
+        out.extend_view(v);
+        assert_eq!(out.len(), 2);
+        let mut joined = RowBuf::new(4);
+        joined.push_concat(&[1, 2], &[3, 4]);
+        assert_eq!(joined.row(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rowbuf_narrow_encode_matches_reference() {
+        let buf = RowBuf::from_rows(&[vec![300], vec![-1], vec![7]]);
+        let mut narrow = Vec::new();
+        buf.encode_into(1, &mut narrow);
+        assert_eq!(narrow, vec![300i64.to_le_bytes()[0], 255, 7]);
     }
 
     #[test]
@@ -247,8 +552,7 @@ mod tests {
         let mut sm = StorageSim::from_hierarchy(&h);
         let spec = RelSpec::ints("L", "HDD", 500).sorted();
         let r = Relation::create(&mut sm, &spec, true, 7).unwrap();
-        let rows = r.rows.as_ref().unwrap();
-        assert!(rows.windows(2).all(|w| w[0] <= w[1]));
+        assert!(r.rows.as_ref().unwrap().is_sorted());
     }
 
     #[test]

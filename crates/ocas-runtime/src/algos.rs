@@ -3,13 +3,18 @@
 //! The engine's faithful mode computes results in memory and *accounts* the
 //! out-of-core I/O; these implementations do the opposite of a shortcut:
 //! the 2ᵏ-way external merge-sort really forms sorted runs on the scratch
-//! device and merges them `fan_in` at a time through bounded buffers, and
-//! the GRACE hash join really spills partition files and joins co-buckets
-//! read back from disk. Every byte they touch flows through the
-//! [`FileBackend`]'s buffer pools onto actual temp files.
+//! device and merges them `fan_in` at a time through bounded buffers, the
+//! GRACE hash join really spills partition files and joins co-buckets read
+//! back from disk, and the streaming templates (merge passes, column zips,
+//! duplicate removal) advance bounded per-input cursors — **no template
+//! materializes its input**. Every byte they touch flows through the
+//! [`FileBackend`]'s buffer pools onto actual temp files, and every
+//! tuple-holding buffer is metered: [`AlgoRun::peak_resident_bytes`] is the
+//! high-water mark of resident tuple memory, which stays bounded by the
+//! configured buffers regardless of input cardinality.
 
 use crate::backend::FileBackend;
-use ocas_engine::{decode_rows, encode_rows, Output, Relation, Row};
+use ocas_engine::{MergeKind, Output, Relation, RowBuf};
 use ocas_storage::{FileId, StorageBackend, StorageError};
 use std::collections::BTreeMap;
 
@@ -49,19 +54,56 @@ fn check_width(rel: &Relation) -> Result<usize, AlgoError> {
     Ok(w)
 }
 
-/// A buffered output writer: rows are encoded into a `buffer_bytes` buffer
-/// and flushed to fresh extents on the output device (sequential, the bump
-/// allocator keeps flushes contiguous). `Discard` outputs skip the device
-/// but rows are still collected for verification.
+/// What one native out-of-core execution produced.
+#[derive(Debug)]
+pub struct AlgoRun {
+    /// Collected output rows. Only populated for [`Output::Discard`] runs
+    /// (the verification path); device-bound runs leave this empty and are
+    /// harvested from [`AlgoRun::out_extents`] after the measured window.
+    pub output: RowBuf,
+    /// Rows emitted.
+    pub rows: u64,
+    /// Extents written on the output device, in emission order, as
+    /// `(file, bytes)` — the uncharged harvest path.
+    pub out_extents: Vec<(FileId, u64)>,
+    /// Output width in columns (for harvest decoding).
+    pub out_width: usize,
+    /// High-water mark of resident tuple bytes across every working buffer
+    /// (input cursors, bucket staging, run buffers, the output staging
+    /// buffer, and — for `Discard` runs — the collected rows).
+    pub peak_resident_bytes: u64,
+}
+
+/// Tracks the high-water mark of resident tuple bytes.
+#[derive(Debug, Default)]
+struct MemGauge {
+    peak: u64,
+}
+
+impl MemGauge {
+    /// Records an observation of the current resident total.
+    fn note(&mut self, bytes: u64) {
+        self.peak = self.peak.max(bytes);
+    }
+}
+
+/// A buffered output writer: rows are encoded into a `buffer_bytes` staging
+/// buffer and flushed to fresh extents on the output device (sequential,
+/// the bump allocator keeps flushes contiguous). `Discard` outputs skip the
+/// device but collect the rows for verification.
 struct RealSink {
     output: Output,
     buffer: Vec<u8>,
     cap: usize,
-    collected: Vec<Row>,
+    rows: u64,
+    width: usize,
+    collected: RowBuf,
+    collect: bool,
+    extents: Vec<(FileId, u64)>,
 }
 
 impl RealSink {
-    fn new(output: &Output, tuple_bytes: u64) -> RealSink {
+    fn new(output: &Output, width: usize, tuple_bytes: u64) -> RealSink {
         let cap = match output {
             Output::ToDevice { buffer_bytes, .. } => (*buffer_bytes).max(tuple_bytes) as usize,
             Output::Discard => 0,
@@ -70,19 +112,53 @@ impl RealSink {
             output: output.clone(),
             buffer: Vec::with_capacity(cap),
             cap,
-            collected: Vec::new(),
+            rows: 0,
+            width,
+            collected: RowBuf::new(width),
+            collect: matches!(output, Output::Discard),
+            extents: Vec::new(),
         }
     }
 
-    fn emit(&mut self, fb: &mut FileBackend, row: Row) -> Result<(), AlgoError> {
+    /// Resident staging bytes (collected rows count only on the
+    /// verification path, where collection is the point).
+    fn resident_bytes(&self) -> u64 {
+        (self.buffer.len() + self.collected.len() * self.width * 8) as u64
+    }
+
+    fn encode_row(&mut self, row: &[i64]) {
+        for col in row {
+            self.buffer.extend_from_slice(&col.to_le_bytes());
+        }
+    }
+
+    fn emit(&mut self, fb: &mut FileBackend, row: &[i64]) -> Result<(), AlgoError> {
+        self.rows += 1;
         if let Output::ToDevice { .. } = self.output {
-            self.buffer
-                .extend_from_slice(&encode_rows(std::slice::from_ref(&row)));
+            self.encode_row(row);
             if self.buffer.len() >= self.cap {
                 self.flush(fb)?;
             }
         }
-        self.collected.push(row);
+        if self.collect {
+            self.collected.push(row);
+        }
+        Ok(())
+    }
+
+    /// Emits the join row `a ++ b` without materializing it first.
+    fn emit_concat(&mut self, fb: &mut FileBackend, a: &[i64], b: &[i64]) -> Result<(), AlgoError> {
+        self.rows += 1;
+        if let Output::ToDevice { .. } = self.output {
+            self.encode_row(a);
+            self.encode_row(b);
+            if self.buffer.len() >= self.cap {
+                self.flush(fb)?;
+            }
+        }
+        if self.collect {
+            self.collected.push_concat(a, b);
+        }
         Ok(())
     }
 
@@ -93,14 +169,21 @@ impl RealSink {
         if let Output::ToDevice { device, .. } = &self.output {
             let f = fb.alloc(device, self.buffer.len() as u64)?;
             fb.write_bytes(f, 0, &self.buffer)?;
+            self.extents.push((f, self.buffer.len() as u64));
             self.buffer.clear();
         }
         Ok(())
     }
 
-    fn finish(mut self, fb: &mut FileBackend) -> Result<Vec<Row>, AlgoError> {
+    fn finish(mut self, fb: &mut FileBackend, gauge: MemGauge) -> Result<AlgoRun, AlgoError> {
         self.flush(fb)?;
-        Ok(self.collected)
+        Ok(AlgoRun {
+            output: self.collected,
+            rows: self.rows,
+            out_extents: self.extents,
+            out_width: self.width,
+            peak_resident_bytes: gauge.peak,
+        })
     }
 }
 
@@ -110,76 +193,72 @@ struct RunFile {
     card: u64,
 }
 
-/// A buffered cursor over one sorted run (the merge's per-input buffer).
+/// A buffered cursor over the tuples of one file region (a sorted run, an
+/// input relation, a column): refills a `b_in`-tuple flat batch on demand
+/// through the backend's scratch buffer — bounded memory per cursor.
 struct RunReader {
     file: FileId,
     card: u64,
     width: usize,
     next: u64,
-    buf: Vec<Row>,
-    buf_pos: usize,
+    buf: RowBuf,
+    pos: usize,
     b_in: u64,
 }
 
 impl RunReader {
-    fn new(run: &RunFile, width: usize, b_in: u64) -> RunReader {
+    fn new(file: FileId, card: u64, width: usize, b_in: u64) -> RunReader {
         RunReader {
-            file: run.file,
-            card: run.card,
+            file,
+            card,
             width,
             next: 0,
-            buf: Vec::new(),
-            buf_pos: 0,
+            buf: RowBuf::new(width),
+            pos: 0,
             b_in: b_in.max(1),
         }
     }
 
-    fn refill(&mut self, fb: &mut FileBackend) -> Result<(), AlgoError> {
-        let remaining = self.card - self.next;
-        let take = self.b_in.min(remaining);
-        if take == 0 {
-            self.buf.clear();
-            self.buf_pos = 0;
-            return Ok(());
-        }
-        let tb = self.width as u64 * 8;
-        let mut bytes = vec![0u8; (take * tb) as usize];
-        fb.read_into(self.file, self.next * tb, &mut bytes)?;
-        self.buf = decode_rows(&bytes, self.width);
-        self.buf_pos = 0;
-        self.next += take;
-        Ok(())
+    fn over(rel: &Relation, width: usize, b_in: u64) -> RunReader {
+        RunReader::new(rel.file, rel.card, width, b_in)
+    }
+
+    /// Resident buffer bytes.
+    fn resident_bytes(&self) -> u64 {
+        (self.buf.len() * self.width * 8) as u64
     }
 
     /// Refills the buffer if it is exhausted and tuples remain on disk.
     fn ensure(&mut self, fb: &mut FileBackend) -> Result<(), AlgoError> {
-        if self.buf_pos >= self.buf.len() && self.next < self.card {
-            self.refill(fb)?;
+        if self.pos >= self.buf.len() && self.next < self.card {
+            let take = self.b_in.min(self.card - self.next);
+            self.buf.clear();
+            fb.read_rows(self.file, self.next, take, self.width, &mut self.buf)?;
+            self.pos = 0;
+            self.next += take;
         }
         Ok(())
     }
 
     /// The buffered head row, by reference (no I/O — call `ensure` first).
-    fn head(&self) -> Option<&Row> {
-        self.buf.get(self.buf_pos)
-    }
-
-    /// Takes the buffered head row without cloning it.
-    fn take_row(&mut self) -> Option<Row> {
-        if self.buf_pos < self.buf.len() {
-            let row = std::mem::take(&mut self.buf[self.buf_pos]);
-            self.buf_pos += 1;
-            Some(row)
+    fn head(&self) -> Option<&[i64]> {
+        if self.pos < self.buf.len() {
+            Some(self.buf.row(self.pos))
         } else {
             None
         }
+    }
+
+    /// Steps past the buffered head row.
+    fn advance(&mut self) {
+        self.pos += 1;
     }
 }
 
 /// Runs a real 2ᵏ-way external merge-sort: sorted run formation on the
 /// scratch device, then `fan_in`-way merge passes with `b_in`-tuple input
 /// buffers and a `b_out`-tuple output buffer, finally streaming the sorted
-/// result to `output`. Returns the sorted rows (read back uncharged).
+/// result to `output`.
 #[allow(clippy::too_many_arguments)]
 pub fn external_sort(
     fb: &mut FileBackend,
@@ -189,25 +268,30 @@ pub fn external_sort(
     b_out: u64,
     scratch: &str,
     output: &Output,
-) -> Result<Vec<Row>, AlgoError> {
+) -> Result<AlgoRun, AlgoError> {
     let width = check_width(input)?;
     let tb = input.tuple_bytes;
     let fan_in = fan_in.max(2);
     let (b_in, b_out) = (b_in.max(1), b_out.max(1));
+    let mut gauge = MemGauge::default();
 
     // Run formation under the merge's memory footprint: fan_in input
     // buffers plus the output buffer.
     let run_tuples = (fan_in * b_in + b_out).max(1);
     let mut runs: Vec<RunFile> = Vec::new();
+    let mut batch = RowBuf::new(width);
+    let mut encode_buf: Vec<u8> = Vec::new();
     let mut at = 0u64;
     while at < input.card {
         let take = run_tuples.min(input.card - at);
-        let mut bytes = vec![0u8; (take * tb) as usize];
-        fb.read_into(input.file, at * tb, &mut bytes)?;
-        let mut rows = decode_rows(&bytes, width);
-        rows.sort();
+        batch.clear();
+        fb.read_rows(input.file, at, take, width, &mut batch)?;
+        batch.sort();
+        encode_buf.clear();
+        batch.encode_into(8, &mut encode_buf);
+        gauge.note(take * tb * 2); // batch + its encoding
         let run = fb.alloc(scratch, (take * tb).max(1))?;
-        fb.write_bytes(run, 0, &encode_rows(&rows))?;
+        fb.write_bytes(run, 0, &encode_buf)?;
         runs.push(RunFile {
             file: run,
             card: take,
@@ -230,13 +314,13 @@ pub fn external_sort(
             let merged = fb.alloc(scratch, (total * tb).max(1))?;
             let mut readers: Vec<RunReader> = group
                 .iter()
-                .map(|r| RunReader::new(r, width, b_in))
+                .map(|r| RunReader::new(r.file, r.card, width, b_in))
                 .collect();
-            let mut out_buf: Vec<Row> = Vec::with_capacity(b_out as usize);
+            let mut out_buf = RowBuf::with_capacity(width, b_out as usize);
             let mut written = 0u64;
             loop {
                 // Refill exhausted buffers, then pick the smallest head by
-                // reference (no clones on this hot path; first reader wins
+                // reference (no copies on this hot path; first reader wins
                 // ties, keeping the merge stable).
                 for r in readers.iter_mut() {
                     r.ensure(fb)?;
@@ -254,16 +338,24 @@ pub fn external_sort(
                     }
                 }
                 let Some(i) = best else { break };
-                let row = readers[i].take_row().expect("ensured head");
-                out_buf.push(row);
+                out_buf.push(readers[i].head().expect("ensured head"));
+                readers[i].advance();
                 if out_buf.len() as u64 >= b_out {
-                    fb.write_bytes(merged, written * tb, &encode_rows(&out_buf))?;
+                    encode_buf.clear();
+                    out_buf.encode_into(8, &mut encode_buf);
+                    fb.write_bytes(merged, written * tb, &encode_buf)?;
                     written += out_buf.len() as u64;
+                    gauge.note(
+                        readers.iter().map(RunReader::resident_bytes).sum::<u64>()
+                            + 2 * out_buf.len() as u64 * tb,
+                    );
                     out_buf.clear();
                 }
             }
             if !out_buf.is_empty() {
-                fb.write_bytes(merged, written * tb, &encode_rows(&out_buf))?;
+                encode_buf.clear();
+                out_buf.encode_into(8, &mut encode_buf);
+                fb.write_bytes(merged, written * tb, &encode_buf)?;
                 written += out_buf.len() as u64;
                 out_buf.clear();
             }
@@ -277,26 +369,39 @@ pub fn external_sort(
     }
 
     // Stream the final run to the output destination.
-    let mut result = Vec::new();
+    let mut sink = RealSink::new(output, width, tb);
     if let Some(last) = runs.first() {
-        if let Output::ToDevice { device, .. } = output {
-            let out_file = fb.alloc(device, (last.card * tb).max(1))?;
-            let chunk = b_out.max(1);
-            let mut at = 0u64;
-            while at < last.card {
-                let take = chunk.min(last.card - at);
-                let mut bytes = vec![0u8; (take * tb) as usize];
-                fb.read_into(last.file, at * tb, &mut bytes)?;
-                fb.write_bytes(out_file, at * tb, &bytes)?;
-                at += take;
+        match output {
+            Output::ToDevice { device, .. } => {
+                let out_file = fb.alloc(device, (last.card * tb).max(1))?;
+                let chunk = b_out.max(1);
+                let mut bytes: Vec<u8> = Vec::new();
+                let mut at = 0u64;
+                while at < last.card {
+                    let take = chunk.min(last.card - at);
+                    bytes.resize((take * tb) as usize, 0);
+                    fb.read_into(last.file, at * tb, &mut bytes[..(take * tb) as usize])?;
+                    fb.write_bytes(out_file, at * tb, &bytes[..(take * tb) as usize])?;
+                    gauge.note(take * tb);
+                    at += take;
+                }
+                sink.rows = last.card;
+                sink.extents.push((out_file, last.card * tb));
+            }
+            Output::Discard => {
+                // Verification path: stream the run into the collected rows.
+                let mut reader = RunReader::new(last.file, last.card, width, b_out);
+                loop {
+                    reader.ensure(fb)?;
+                    let Some(row) = reader.head() else { break };
+                    sink.collected.push(row);
+                    sink.rows += 1;
+                    reader.advance();
+                }
             }
         }
-        // Harvest (uncharged) for verification.
-        let mut bytes = vec![0u8; (last.card * tb) as usize];
-        fb.peek(last.file, 0, &mut bytes)?;
-        result = decode_rows(&bytes, width);
     }
-    Ok(result)
+    sink.finish(fb, gauge)
 }
 
 /// One side's partition files after the GRACE partition pass.
@@ -311,6 +416,7 @@ fn partition_side(
     partitions: u64,
     buffer_bytes: u64,
     spill: &str,
+    gauge: &mut MemGauge,
 ) -> Result<Partitions, AlgoError> {
     let width = check_width(rel)?;
     let tb = rel.tuple_bytes;
@@ -320,17 +426,20 @@ fn partition_side(
     let mut parts = Partitions {
         extents: vec![Vec::new(); partitions as usize],
     };
+    let mut batch = RowBuf::new(width);
     let mut at = 0u64;
     while at < rel.card {
         let take = block.min(rel.card - at);
-        let mut bytes = vec![0u8; (take * tb) as usize];
-        fb.read_into(rel.file, at * tb, &mut bytes)?;
-        for row in decode_rows(&bytes, width) {
+        batch.clear();
+        fb.read_rows(rel.file, at, take, width, &mut batch)?;
+        for row in batch.iter() {
             let key = row.first().copied().unwrap_or(0);
             // Same bucket function as the simulator and the OCAL
             // `hashPartition` definition: identical bucket contents.
             let b = (ocal::stable_hash(&ocal::Value::Int(key)) % partitions) as usize;
-            buckets[b].extend_from_slice(&encode_rows(std::slice::from_ref(&row)));
+            for col in row {
+                buckets[b].extend_from_slice(&col.to_le_bytes());
+            }
             if buckets[b].len() as u64 >= per_bucket_buf {
                 let f = fb.alloc(spill, buckets[b].len() as u64)?;
                 fb.write_bytes(f, 0, &buckets[b])?;
@@ -338,6 +447,7 @@ fn partition_side(
                 buckets[b].clear();
             }
         }
+        gauge.note((take * tb) + buckets.iter().map(|b| b.len() as u64).sum::<u64>());
         at += take;
     }
     for (b, buf) in buckets.iter().enumerate() {
@@ -354,21 +464,21 @@ fn read_bucket(
     fb: &mut FileBackend,
     extents: &[(FileId, u64)],
     width: usize,
-) -> Result<Vec<Row>, AlgoError> {
-    let mut rows = Vec::new();
+    out: &mut RowBuf,
+) -> Result<(), AlgoError> {
+    out.clear();
     for (file, bytes) in extents {
-        let mut buf = vec![0u8; *bytes as usize];
-        fb.read_into(*file, 0, &mut buf)?;
-        rows.extend(decode_rows(&buf, width));
+        let rows = *bytes / (width as u64 * 8);
+        fb.read_rows(*file, 0, rows, width, out)?;
     }
-    Ok(rows)
+    Ok(())
 }
 
 /// Runs a real GRACE hash join: both relations are hash-partitioned into
 /// `partitions` spill files on the `spill` device, then each co-bucket pair
-/// is read back and joined in memory (build on the left, probe with the
-/// right), results flowing through a buffered writer to `output`. Returns
-/// the joined rows.
+/// is read back and joined in memory (build an index over the left batch,
+/// probe with the right), results flowing through a buffered writer to
+/// `output`.
 #[allow(clippy::too_many_arguments)]
 pub fn grace_join(
     fb: &mut FileBackend,
@@ -379,40 +489,222 @@ pub fn grace_join(
     spill: &str,
     cross: bool,
     output: &Output,
-) -> Result<Vec<Row>, AlgoError> {
+) -> Result<AlgoRun, AlgoError> {
     let lw = check_width(left)?;
     let rw = check_width(right)?;
     let partitions = partitions.max(1);
-    let lparts = partition_side(fb, left, partitions, buffer_bytes, spill)?;
-    let rparts = partition_side(fb, right, partitions, buffer_bytes, spill)?;
+    let mut gauge = MemGauge::default();
+    let lparts = partition_side(fb, left, partitions, buffer_bytes, spill, &mut gauge)?;
+    let rparts = partition_side(fb, right, partitions, buffer_bytes, spill, &mut gauge)?;
 
-    let mut sink = RealSink::new(output, left.tuple_bytes + right.tuple_bytes);
+    let mut sink = RealSink::new(output, lw + rw, left.tuple_bytes + right.tuple_bytes);
+    let mut lb = RowBuf::new(lw);
+    let mut rb = RowBuf::new(rw);
     for b in 0..partitions as usize {
-        let lb = read_bucket(fb, &lparts.extents[b], lw)?;
-        let rb = read_bucket(fb, &rparts.extents[b], rw)?;
+        read_bucket(fb, &lparts.extents[b], lw, &mut lb)?;
+        read_bucket(fb, &rparts.extents[b], rw, &mut rb)?;
+        gauge.note((lb.len() * lw * 8 + rb.len() * rw * 8) as u64 + sink.resident_bytes());
         if cross {
-            for y in &rb {
-                for x in &lb {
-                    let mut row = x.clone();
-                    row.extend_from_slice(y);
-                    sink.emit(fb, row)?;
+            for y in rb.iter() {
+                for x in lb.iter() {
+                    sink.emit_concat(fb, x, y)?;
                 }
             }
         } else {
-            let mut table: BTreeMap<i64, Vec<&Row>> = BTreeMap::new();
-            for row in &lb {
-                table.entry(row[0]).or_default().push(row);
+            let mut table: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
+            for (n, row) in lb.iter().enumerate() {
+                table.entry(row[0]).or_default().push(n as u32);
             }
-            for y in &rb {
+            for y in rb.iter() {
                 if let Some(matches) = table.get(&y[0]) {
                     for x in matches {
-                        let mut row = (*x).clone();
-                        row.extend_from_slice(y);
-                        sink.emit(fb, row)?;
+                        sink.emit_concat(fb, lb.row(*x as usize), y)?;
                     }
                 }
             }
         }
     }
-    sink.finish(fb)
+    sink.finish(fb, gauge)
+}
+
+/// Runs a real streaming merge pass over two sorted relations: two bounded
+/// `b_in`-tuple cursors advance through the inputs, the [`MergeKind`]
+/// logic emits incrementally — resident memory is two input buffers plus
+/// the output staging buffer, independent of input cardinality.
+pub fn merge_pass(
+    fb: &mut FileBackend,
+    left: &Relation,
+    right: &Relation,
+    kind: MergeKind,
+    b_in: u64,
+    output: &Output,
+) -> Result<AlgoRun, AlgoError> {
+    let lw = check_width(left)?;
+    let rw = check_width(right)?;
+    if lw != rw {
+        return Err(AlgoError::Unsupported("merge inputs must share a width"));
+    }
+    let mut gauge = MemGauge::default();
+    let mut a = RunReader::over(left, lw, b_in.max(1));
+    let mut b = RunReader::over(right, rw, b_in.max(1));
+    let mut sink = RealSink::new(output, lw, left.tuple_bytes);
+    // The last emitted row (set-union dedup), in a reused buffer.
+    let mut last: Vec<i64> = Vec::new();
+    let mut have_last = false;
+    let mut vm_row: [i64; 2];
+
+    loop {
+        a.ensure(fb)?;
+        b.ensure(fb)?;
+        gauge.note(a.resident_bytes() + b.resident_bytes() + sink.resident_bytes());
+        let (ha, hb) = (a.head(), b.head());
+        match kind {
+            MergeKind::MultisetUnionSorted | MergeKind::SetUnion => {
+                let take_a = match (ha, hb) {
+                    (None, None) => break,
+                    (Some(_), None) => true,
+                    (None, Some(_)) => false,
+                    (Some(x), Some(y)) => x <= y,
+                };
+                let row = if take_a {
+                    a.head().expect("checked")
+                } else {
+                    b.head().expect("checked")
+                };
+                if kind == MergeKind::MultisetUnionSorted || !have_last || last != row {
+                    sink.emit(fb, row)?;
+                    if kind == MergeKind::SetUnion {
+                        last.clear();
+                        last.extend_from_slice(row);
+                        have_last = true;
+                    }
+                }
+                if take_a {
+                    a.advance();
+                } else {
+                    b.advance();
+                }
+            }
+            MergeKind::MultisetUnionVm => match (ha, hb) {
+                (None, None) => break,
+                (Some(x), Some(y)) if x[0] == y[0] => {
+                    vm_row = [x[0], x[1] + y[1]];
+                    sink.emit(fb, &vm_row)?;
+                    a.advance();
+                    b.advance();
+                }
+                (Some(x), y) if y.is_none() || x[0] < y.expect("some")[0] => {
+                    sink.emit(fb, x)?;
+                    a.advance();
+                }
+                _ => {
+                    sink.emit(fb, hb.expect("remaining side"))?;
+                    b.advance();
+                }
+            },
+            MergeKind::MultisetDiffSorted => match (ha, hb) {
+                (None, _) => break,
+                (Some(x), Some(y)) if y < x => b.advance(),
+                (Some(x), Some(y)) if y == x => {
+                    a.advance();
+                    b.advance();
+                }
+                (Some(x), _) => {
+                    sink.emit(fb, x)?;
+                    a.advance();
+                }
+            },
+            MergeKind::MultisetDiffVm => match (ha, hb) {
+                (None, _) => break,
+                (Some(x), Some(y)) if y[0] < x[0] => b.advance(),
+                (Some(x), Some(y)) if y[0] == x[0] => {
+                    let m = x[1] - y[1];
+                    if m > 0 {
+                        vm_row = [x[0], m];
+                        sink.emit(fb, &vm_row)?;
+                    }
+                    a.advance();
+                    b.advance();
+                }
+                (Some(x), _) => {
+                    sink.emit(fb, x)?;
+                    a.advance();
+                }
+            },
+        }
+    }
+    sink.finish(fb, gauge)
+}
+
+/// Runs a real column-store read: one bounded cursor per column advances in
+/// lock-step, zipping rows through a reused scratch tuple — resident
+/// memory is `columns.len()` input buffers plus the output staging buffer.
+pub fn column_zip(
+    fb: &mut FileBackend,
+    columns: &[Relation],
+    b_in: u64,
+    output: &Output,
+) -> Result<AlgoRun, AlgoError> {
+    if columns.is_empty() {
+        return Err(AlgoError::Unsupported("column zip needs columns"));
+    }
+    let widths: Vec<usize> = columns.iter().map(check_width).collect::<Result<_, _>>()?;
+    let out_width: usize = widths.iter().sum();
+    let card = columns.iter().map(|c| c.card).min().unwrap_or(0);
+    let out_bytes: u64 = columns.iter().map(|c| c.tuple_bytes).sum();
+    let mut gauge = MemGauge::default();
+    let mut readers: Vec<RunReader> = columns
+        .iter()
+        .zip(&widths)
+        .map(|(c, w)| {
+            let mut r = RunReader::over(c, *w, b_in.max(1));
+            r.card = card; // zip stops at the shortest column
+            r
+        })
+        .collect();
+    let mut sink = RealSink::new(output, out_width, out_bytes);
+    let mut zipped: Vec<i64> = Vec::with_capacity(out_width);
+    for _ in 0..card {
+        zipped.clear();
+        for r in readers.iter_mut() {
+            r.ensure(fb)?;
+            zipped.extend_from_slice(r.head().expect("within card"));
+            r.advance();
+        }
+        sink.emit(fb, &zipped)?;
+        gauge.note(
+            readers.iter().map(RunReader::resident_bytes).sum::<u64>() + sink.resident_bytes(),
+        );
+    }
+    sink.finish(fb, gauge)
+}
+
+/// Runs a real streaming duplicate removal over a sorted relation: one
+/// bounded cursor, one remembered row — resident memory is a single input
+/// buffer plus the output staging buffer.
+pub fn dedup_sorted(
+    fb: &mut FileBackend,
+    input: &Relation,
+    b_in: u64,
+    output: &Output,
+) -> Result<AlgoRun, AlgoError> {
+    let width = check_width(input)?;
+    let mut gauge = MemGauge::default();
+    let mut reader = RunReader::over(input, width, b_in.max(1));
+    let mut sink = RealSink::new(output, width, input.tuple_bytes);
+    let mut last: Vec<i64> = Vec::new();
+    let mut have_last = false;
+    loop {
+        reader.ensure(fb)?;
+        let Some(row) = reader.head() else { break };
+        if !have_last || last != row {
+            sink.emit(fb, row)?;
+            last.clear();
+            last.extend_from_slice(row);
+            have_last = true;
+        }
+        reader.advance();
+        gauge.note(reader.resident_bytes() + sink.resident_bytes());
+    }
+    sink.finish(fb, gauge)
 }

@@ -19,8 +19,13 @@
 //!   counters mirroring [`ocas_storage::DeviceStats`], wall-clock charging.
 //! * [`algos`] + [`Runtime`] — genuinely out-of-core algorithm
 //!   implementations (external merge-sort runs and GRACE partitions really
-//!   spill to disk) and the entry point that runs a plan for real alongside
-//!   its simulated twin, returning a [`RealReport`] with both.
+//!   spill to disk; merge passes, column zips and duplicate removal stream
+//!   through bounded cursors — peak resident tuple memory is metered and
+//!   independent of input cardinality) and the entry point that runs a
+//!   plan for real alongside its simulated twin, returning a
+//!   [`RealReport`] with both. [`TimingMode::DiskBounded`] bounds
+//!   wall-clock by the disk (fsync + `O_DIRECT` where available) instead
+//!   of the kernel page cache.
 //!
 //! When is which mode authoritative? The **simulator** for paper-scale
 //! claims (terabyte workloads, exact modeled devices); the **real backend**
@@ -35,7 +40,7 @@ pub mod backend;
 pub mod pool;
 pub mod runtime;
 
-pub use algos::AlgoError;
-pub use backend::{FileBackend, PoolConfig};
+pub use algos::{AlgoError, AlgoRun};
+pub use backend::{FileBackend, PoolConfig, TimingMode};
 pub use pool::{BufferPool, EvictionPolicy, PolicyKind, PoolStats};
 pub use runtime::{RealReport, Runtime, RuntimeError};

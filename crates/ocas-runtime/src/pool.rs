@@ -212,6 +212,11 @@ pub struct BufferPool {
     table: BTreeMap<u64, usize>,
     policy: Box<dyn EvictionPolicy>,
     stats: PoolStats,
+    /// `O_DIRECT` mode: page loads and write-backs go through a 512-byte
+    /// aligned staging buffer (direct I/O requires aligned memory, offsets
+    /// and lengths; page offsets are aligned by construction).
+    direct: bool,
+    staging: Vec<u8>,
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -241,7 +246,31 @@ impl BufferPool {
             table: BTreeMap::new(),
             policy: policy.build(),
             stats: PoolStats::default(),
+            direct: false,
+            staging: Vec::new(),
         }
+    }
+
+    /// Marks the backing file as opened with `O_DIRECT`, builder-style:
+    /// page I/O then goes through an aligned staging buffer. The caller
+    /// guarantees `page_bytes` is a multiple of 512.
+    pub fn with_direct(mut self, direct: bool) -> BufferPool {
+        self.direct = direct;
+        if direct {
+            self.staging = vec![0u8; self.page_bytes + 511];
+        }
+        self
+    }
+
+    /// True when the pool runs in direct-I/O mode.
+    pub fn is_direct(&self) -> bool {
+        self.direct
+    }
+
+    /// The 512-byte-aligned window of the staging buffer.
+    fn staging_range(&self) -> std::ops::Range<usize> {
+        let off = self.staging.as_ptr().align_offset(512);
+        off..off + self.page_bytes
     }
 
     /// Pool statistics so far.
@@ -266,11 +295,33 @@ impl BufferPool {
             .seek(SeekFrom::Start(page * self.page_bytes as u64))
             .map_err(io_err)?;
         // Short reads past EOF leave the tail zeroed (sparse files).
-        let mut filled = 0;
-        while filled < data.len() {
-            match self.file.read(&mut data[filled..]).map_err(io_err)? {
-                0 => break,
-                n => filled += n,
+        if self.direct {
+            let range = self.staging_range();
+            let mut filled = 0;
+            while filled < self.page_bytes {
+                let at = range.start + filled;
+                match self
+                    .file
+                    .read(&mut self.staging[at..range.end])
+                    .map_err(io_err)?
+                {
+                    0 => break,
+                    n => filled += n,
+                }
+            }
+            // The staging buffer is reused across pages: zero the unfilled
+            // tail so a short read matches the buffered path's zero-fill
+            // instead of leaking the previous page's bytes.
+            let start = range.start;
+            self.staging[start + filled..range.end].fill(0);
+            data.copy_from_slice(&self.staging[range]);
+        } else {
+            let mut filled = 0;
+            while filled < data.len() {
+                match self.file.read(&mut data[filled..]).map_err(io_err)? {
+                    0 => break,
+                    n => filled += n,
+                }
             }
         }
         let frame = if self.frames.len() < self.capacity {
@@ -313,9 +364,16 @@ impl BufferPool {
         self.file
             .seek(SeekFrom::Start(page * self.page_bytes as u64))
             .map_err(io_err)?;
-        self.file
-            .write_all(&self.frames[frame].data)
-            .map_err(io_err)?;
+        if self.direct {
+            let range = self.staging_range();
+            self.staging[range.clone()].copy_from_slice(&self.frames[frame].data);
+            let staged = &self.staging[range];
+            self.file.write_all(staged).map_err(io_err)?;
+        } else {
+            self.file
+                .write_all(&self.frames[frame].data)
+                .map_err(io_err)?;
+        }
         self.frames[frame].dirty = false;
         self.stats.write_backs += 1;
         Ok(())

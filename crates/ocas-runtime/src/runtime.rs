@@ -1,10 +1,10 @@
 //! The runtime entry point: execute one physical plan for real, with a
 //! twin simulated run for side-by-side seconds.
 
-use crate::algos::{self, AlgoError};
+use crate::algos::{self, AlgoError, AlgoRun};
 use crate::backend::{FileBackend, PoolConfig};
 use crate::pool::PoolStats;
-use ocas_engine::{CpuModel, ExecError, Executor, Mode, Plan, RelSpec, Relation};
+use ocas_engine::{CpuModel, ExecError, Executor, Mode, Plan, RelSpec, Relation, RowBuf};
 use ocas_hierarchy::Hierarchy;
 use ocas_storage::{DeviceStats, StorageBackend, StorageError, StorageSim};
 use std::path::PathBuf;
@@ -60,10 +60,14 @@ pub struct RealReport {
     pub io_seconds: f64,
     /// Simulated seconds of the identical plan on the device simulator.
     pub sim_seconds: f64,
-    /// Output rows of the real execution.
-    pub output: Vec<ocas_engine::Row>,
+    /// Output rows of the real execution, one flat batch.
+    pub output: RowBuf,
     /// Output rows of the simulated faithful twin.
-    pub sim_output: Vec<ocas_engine::Row>,
+    pub sim_output: RowBuf,
+    /// High-water mark of resident tuple bytes inside the native
+    /// out-of-core algorithms (`None` for plans that run through the
+    /// generic executor, whose faithful mode holds relations in memory).
+    pub peak_resident_bytes: Option<u64>,
     /// Per-device I/O counters of the real execution.
     pub real_devices: Vec<(String, DeviceStats)>,
     /// Per-device I/O counters of the simulated twin.
@@ -113,6 +117,87 @@ impl Runtime {
         }
     }
 
+    /// Dispatches the native out-of-core implementation for `plan`, if one
+    /// exists (everything except the nested-loop joins and aggregation,
+    /// which stream through the generic executor).
+    fn run_native(
+        fb: &mut FileBackend,
+        rels: &[Relation],
+        plan: &Plan,
+    ) -> Result<Option<AlgoRun>, RuntimeError> {
+        let rel = |i: usize| -> Result<&Relation, RuntimeError> {
+            rels.get(i).ok_or(ExecError::BadRelation(i).into())
+        };
+        let run = match plan {
+            Plan::ExternalSort {
+                input,
+                fan_in,
+                b_in,
+                b_out,
+                scratch,
+                output,
+            } => Some(algos::external_sort(
+                fb,
+                rel(*input)?,
+                *fan_in,
+                *b_in,
+                *b_out,
+                scratch,
+                output,
+            )?),
+            Plan::GraceJoin {
+                left,
+                right,
+                partitions,
+                buffer_bytes,
+                spill,
+                pred,
+                output,
+            } => Some(algos::grace_join(
+                fb,
+                rel(*left)?,
+                rel(*right)?,
+                *partitions,
+                *buffer_bytes,
+                spill,
+                matches!(pred, ocas_engine::JoinPred::Cross),
+                output,
+            )?),
+            Plan::MergePass {
+                left,
+                right,
+                kind,
+                b_in,
+                output,
+            } => Some(algos::merge_pass(
+                fb,
+                rel(*left)?,
+                rel(*right)?,
+                *kind,
+                *b_in,
+                output,
+            )?),
+            Plan::ColumnZip {
+                columns,
+                b_in,
+                output,
+            } => {
+                let cols: Vec<Relation> = columns
+                    .iter()
+                    .map(|c| rel(*c).cloned())
+                    .collect::<Result<_, _>>()?;
+                Some(algos::column_zip(fb, &cols, *b_in, output)?)
+            }
+            Plan::DedupSorted {
+                input,
+                b_in,
+                output,
+            } => Some(algos::dedup_sorted(fb, rel(*input)?, *b_in, output)?),
+            _ => None,
+        };
+        Ok(run)
+    }
+
     /// Runs `plan` for real against temp files, then runs the identical
     /// plan faithfully on the device simulator, and reports both.
     ///
@@ -132,68 +217,40 @@ impl Runtime {
             rels.push(Relation::create(&mut fb, spec, true, seed + i as u64)?);
         }
         let t0 = Instant::now();
-        let (output, mut fb) = match plan {
-            Plan::ExternalSort {
-                input,
-                fan_in,
-                b_in,
-                b_out,
-                scratch,
-                output,
-            } => {
-                let rel = rels
-                    .get(*input)
-                    .ok_or(ExecError::BadRelation(*input))?
-                    .clone();
-                let rows =
-                    algos::external_sort(&mut fb, &rel, *fan_in, *b_in, *b_out, scratch, output)?;
-                (rows, fb)
-            }
-            Plan::GraceJoin {
-                left,
-                right,
-                partitions,
-                buffer_bytes,
-                spill,
-                pred,
-                output,
-            } => {
-                let l = rels
-                    .get(*left)
-                    .ok_or(ExecError::BadRelation(*left))?
-                    .clone();
-                let r = rels
-                    .get(*right)
-                    .ok_or(ExecError::BadRelation(*right))?
-                    .clone();
-                let cross = matches!(pred, ocas_engine::JoinPred::Cross);
-                let rows = algos::grace_join(
-                    &mut fb,
-                    &l,
-                    &r,
-                    *partitions,
-                    *buffer_bytes,
-                    spill,
-                    cross,
-                    output,
-                )?;
-                (rows, fb)
-            }
-            other => {
-                // Every other operator runs through the generic executor:
-                // same faithful semantics, I/O against the real files.
+        let (native, generic) = match Self::run_native(&mut fb, &rels, plan)? {
+            Some(run) => (Some(run), None),
+            None => {
+                // Nested-loop joins and aggregation run through the generic
+                // executor: same faithful semantics, I/O against real files.
                 let mut ex = Executor::new(fb, Mode::Faithful, CpuModel::disabled());
                 for rel in &rels {
                     ex.add_relation(rel.clone());
                 }
-                let stats = ex.run(other)?;
-                (stats.output.unwrap_or_default(), ex.sm)
+                let stats = ex.run(plan)?;
+                fb = ex.sm;
+                (None, Some(stats.output.unwrap_or_default()))
             }
         };
         // Write-back and sync belong to the measured run: without this,
         // outputs small enough to sit in the buffer pools would be "free".
         fb.flush()?;
         let wall_seconds = t0.elapsed().as_secs_f64();
+
+        // Harvest (uncharged, outside the measured window): device-bound
+        // native runs read their output extents back for verification.
+        let (output, peak_resident_bytes) = match native {
+            Some(run) => {
+                let mut out = run.output;
+                if out.is_empty() && !run.out_extents.is_empty() {
+                    for (file, bytes) in &run.out_extents {
+                        let rows = bytes / (run.out_width as u64 * 8);
+                        fb.peek_rows(*file, 0, rows, run.out_width, &mut out)?;
+                    }
+                }
+                (out, Some(run.peak_resident_bytes))
+            }
+            None => (generic.unwrap_or_default(), None),
+        };
         let io_seconds = fb.clock();
         let real_devices = fb.all_device_stats();
         let pools = fb.pool_stats();
@@ -222,6 +279,7 @@ impl Runtime {
             sim_seconds: sim_stats.seconds,
             output,
             sim_output: sim_stats.output.unwrap_or_default(),
+            peak_resident_bytes,
             real_devices,
             sim_devices,
             pools,

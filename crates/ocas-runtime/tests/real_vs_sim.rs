@@ -32,8 +32,8 @@ fn unit_page_hierarchy() -> Hierarchy {
 type ByteTotals = (u64, u64);
 /// Outputs and byte totals of the simulated and the real execution.
 type BothRuns = (
-    Vec<ocas_engine::Row>,
-    Vec<ocas_engine::Row>,
+    ocas_engine::RowBuf,
+    ocas_engine::RowBuf,
     ByteTotals,
     ByteTotals,
 );
@@ -58,6 +58,7 @@ fn run_both(plan: &Plan, specs: &[RelSpec], seed: u64) -> BothRuns {
             page_bytes: 4096,
             frames: 64,
             policy: PolicyKind::Lru,
+            ..PoolConfig::default()
         },
     )
     .unwrap();
@@ -199,16 +200,16 @@ fn real_grace_join_is_correct_and_matches_simulator() {
     let r = Relation::create(&mut sm, &specs[0], true, 3).unwrap();
     let s = Relation::create(&mut sm, &specs[1], true, 4).unwrap();
     let mut expect = Vec::new();
-    for x in r.rows.as_ref().unwrap() {
-        for y in s.rows.as_ref().unwrap() {
+    for x in r.rows.as_ref().unwrap().iter() {
+        for y in s.rows.as_ref().unwrap().iter() {
             if x[0] == y[0] {
-                let mut row = x.clone();
+                let mut row = x.to_vec();
                 row.extend_from_slice(y);
                 expect.push(row);
             }
         }
     }
-    let mut got = report.output.clone();
+    let mut got = report.output.to_rows();
     got.sort();
     expect.sort();
     assert_eq!(got, expect);
@@ -246,7 +247,7 @@ fn real_external_sort_is_correct_and_matches_simulator() {
     };
     let report = rt.run_plan(&plan, &specs, 11).unwrap();
     assert_eq!(report.output.len(), 3000);
-    assert!(report.output.windows(2).all(|w| w[0] <= w[1]), "sorted");
+    assert!(report.output.is_sorted(), "sorted");
     assert!(report.outputs_match());
     // With runs of 4*32+64 = 192 tuples, 3000 tuples form 16 runs and need
     // two 4-way merge levels: scratch traffic far exceeds the input size.
@@ -272,6 +273,7 @@ fn eviction_policies_all_produce_correct_results() {
             page_bytes: 256,
             frames: 8, // tiny pool: constant eviction pressure
             policy,
+            ..PoolConfig::default()
         });
         let specs = [RelSpec::ints("L", "HDD", 500)];
         let plan = Plan::ExternalSort {
@@ -283,10 +285,7 @@ fn eviction_policies_all_produce_correct_results() {
             output: Output::Discard,
         };
         let report = rt.run_plan(&plan, &specs, 7).unwrap();
-        assert!(
-            report.output.windows(2).all(|w| w[0] <= w[1]),
-            "{policy:?} sorted"
-        );
+        assert!(report.output.is_sorted(), "{policy:?} sorted");
         assert_eq!(report.output.len(), 500, "{policy:?} cardinality");
         let evictions: u64 = report.pools.iter().map(|(_, p)| p.evictions).sum();
         assert!(evictions > 0, "{policy:?} must be under eviction pressure");

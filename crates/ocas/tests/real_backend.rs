@@ -24,6 +24,7 @@ fn rows_for(spec: &RelSpec, seed: u64) -> Vec<Row> {
         .unwrap()
         .rows
         .unwrap()
+        .to_rows()
 }
 
 fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
@@ -109,7 +110,7 @@ fn synthesized_grace_join_runs_on_real_files_three_way_identical() {
         .collect();
     assert!(!interp.is_empty(), "degenerate join");
     assert_eq!(
-        encode_rows(&sorted(report.output.clone())),
+        encode_rows(&sorted(report.output.to_rows())),
         encode_rows(&sorted(interp)),
         "real output differs from the OCAL interpreter"
     );
@@ -176,7 +177,7 @@ fn synthesized_external_sort_runs_on_real_files_three_way_identical() {
     // (2) real ≡ simulator faithful mode.
     assert!(report.outputs_match());
     assert_eq!(report.output.len(), card as usize);
-    assert!(report.output.windows(2).all(|w| w[0] <= w[1]), "sorted");
+    assert!(report.output.is_sorted(), "sorted");
 
     // (1) real ≡ OCAL reference interpreter (the foldL/mrg spec over the
     // same values as singleton lists).
@@ -199,7 +200,7 @@ fn synthesized_external_sort_runs_on_real_files_three_way_identical() {
         .map(|x| vec![x.as_int().unwrap()])
         .collect();
     assert_eq!(
-        encode_rows(&report.output),
+        encode_rows(&report.output.to_rows()),
         encode_rows(&interp),
         "real output differs from the OCAL interpreter"
     );

@@ -40,8 +40,8 @@ fn synthesized_join_agrees_with_interpreter() {
         2,
     )
     .unwrap();
-    let r_rows = r.rows.clone().unwrap();
-    let s_rows = s.rows.clone().unwrap();
+    let r_rows = r.rows.clone().unwrap().to_rows();
+    let s_rows = s.rows.clone().unwrap().to_rows();
     let mut relations = BTreeMap::new();
     relations.insert("R".to_string(), ex.add_relation(r));
     relations.insert("S".to_string(), ex.add_relation(s));
@@ -75,6 +75,7 @@ fn synthesized_join_agrees_with_interpreter() {
     let mut got: Vec<String> = stats
         .output
         .unwrap()
+        .to_rows()
         .into_iter()
         .map(|row| {
             // The engine may have put the smaller relation outside; project

@@ -3,6 +3,8 @@
 //! * blocking never changes program semantics (apply-block soundness);
 //! * the symbolic simplifier is value-preserving and idempotent;
 //! * the engine's merge operators agree with set/multiset models;
+//! * the flat-batch codec and batch operations agree with the per-row
+//!   reference codec and boundary-row semantics;
 //! * result-size estimation is a sound upper bound on actual sizes.
 
 use ocal::{parse, Evaluator, Value};
@@ -159,5 +161,68 @@ proptest! {
         let printed = ocal::pretty(&e);
         let e2 = parse(&printed).unwrap();
         prop_assert_eq!(e.alpha_canonical(), e2.alpha_canonical());
+    }
+
+    /// The flat-batch codec is byte-identical to the per-row reference
+    /// codec, both directions, for every width.
+    #[test]
+    fn rowbuf_codec_matches_reference_codec(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-4_000_000_000_000i64..4_000_000_000_000, 3..4), 0..50),
+    ) {
+        use ocas_engine::{decode_rows, encode_rows, RowBuf};
+        let buf = RowBuf::from_rows(&rows);
+        let reference = encode_rows(&rows);
+        // Encode: flat batch == per-row reference, byte for byte.
+        prop_assert_eq!(&buf.encode(), &reference);
+        // Decode: both decoders reconstruct the same rows.
+        prop_assert_eq!(RowBuf::decode(&reference, 3).to_rows(), buf.to_rows());
+        prop_assert_eq!(decode_rows(&reference, 3), buf.to_rows());
+        // Trailing partial rows are dropped by both decoders.
+        if !reference.is_empty() {
+            let truncated = &reference[..reference.len() - 5];
+            prop_assert_eq!(
+                RowBuf::decode(truncated, 3).to_rows(),
+                decode_rows(truncated, 3)
+            );
+        }
+    }
+
+    /// Narrow-column encoding (col_bytes < 8) agrees with truncating each
+    /// reference-encoded column to its low-order bytes.
+    #[test]
+    fn rowbuf_narrow_encode_matches_reference(
+        vals in proptest::collection::vec(-4_000_000_000_000i64..4_000_000_000_000, 0..60),
+        cb in 1usize..8,
+    ) {
+        use ocas_engine::RowBuf;
+        let rows: Vec<Vec<i64>> = vals.iter().map(|v| vec![*v]).collect();
+        let buf = RowBuf::from_rows(&rows);
+        let mut got = Vec::new();
+        buf.encode_into(cb, &mut got);
+        let want: Vec<u8> = vals
+            .iter()
+            .flat_map(|v| v.to_le_bytes()[..cb].to_vec())
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// In-place flat sort and dedup agree with the boundary-row semantics
+    /// the engine used before the flat-batch data path.
+    #[test]
+    fn rowbuf_sort_dedup_match_row_semantics(
+        mut rows in proptest::collection::vec(
+            proptest::collection::vec(0i64..10, 2..3), 0..60),
+    ) {
+        use ocas_engine::RowBuf;
+        let mut buf = RowBuf::from_rows(&rows);
+        buf.sort();
+        rows.sort();
+        prop_assert_eq!(buf.to_rows(), rows.clone());
+        prop_assert!(buf.is_sorted());
+        let mut deduped = buf.clone();
+        deduped.dedup();
+        rows.dedup();
+        prop_assert_eq!(deduped.to_rows(), rows);
     }
 }
