@@ -673,9 +673,21 @@ impl Expr {
         out
     }
 
-    /// True if `name` occurs free in the expression.
+    /// True if `name` occurs free in the expression. Allocation-free and
+    /// early-exiting — this is a hot guard in the rewrite rules, called at
+    /// every tree position of every search frontier program.
     pub fn mentions(&self, name: &str) -> bool {
-        self.free_vars().contains(name)
+        fn go(e: &Expr, name: &str) -> bool {
+            match e {
+                Expr::Var(v) => v == name,
+                Expr::Lam { param, body } => param != name && go(body, name),
+                Expr::For {
+                    var, source, body, ..
+                } => go(source, name) || (var != name && go(body, name)),
+                other => other.children().into_iter().any(|c| go(c, name)),
+            }
+        }
+        go(self, name)
     }
 
     /// Capture-avoiding substitution of free occurrences of `name` by `with`.

@@ -51,6 +51,7 @@ pub mod ast;
 pub mod defs;
 pub mod eval;
 pub mod gen;
+pub mod intern;
 pub mod parser;
 pub mod pretty;
 pub mod typecheck;
@@ -59,6 +60,7 @@ pub mod value;
 
 pub use ast::{BlockSize, CardHint, DefName, Expr, PrimOp, SeqAnnot, SizeHint, TypeEnv};
 pub use eval::{EvalError, Evaluator};
+pub use intern::{ExprId, Interner};
 pub use parser::{parse, ParseError};
 pub use pretty::pretty;
 pub use typecheck::{infer_type, typecheck, TypeError};

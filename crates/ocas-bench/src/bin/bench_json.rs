@@ -18,13 +18,23 @@
 //! * `--check-tolerance <x>`  override the wall/throughput factor (default 25)
 //! * `--disk-bound`           run the real-I/O workloads in the
 //!   fsync/`O_DIRECT` disk-bounded timing mode
+//! * `--assert-direct`        exit non-zero unless at least one real-I/O
+//!   workload actually engaged `O_DIRECT` (nightly runs this together with
+//!   `--disk-bound` on a real filesystem, pinning that the buffered
+//!   fallback is not the only path ever exercised)
+//!
+//! The synthesis-search section (arena/parallel engine vs the legacy
+//! reference engine on the two largest-search Table 1 rows) always runs —
+//! it takes seconds and its statistics are deterministic, so the smoke
+//! job's `--check` gates them exactly.
 //!
 //! `--real-only` is the mode CI's smoke job affords (seconds); the full
 //! document is regenerated manually per trajectory point.
 
 use ocas_bench::json::Json;
 use ocas_bench::report::{
-    bench_doc, check_regressions, engine_throughput, real_workloads, validate_bench_doc,
+    bench_doc, check_regressions, engine_throughput, real_workloads, synthesis_stats,
+    validate_bench_doc,
 };
 
 fn main() {
@@ -37,6 +47,7 @@ fn main() {
     let mut check: Option<String> = None;
     let mut check_tolerance = 25.0f64;
     let mut disk_bound = false;
+    let mut assert_direct = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -68,6 +79,7 @@ fn main() {
                     .expect("--check-tolerance needs a number")
             }
             "--disk-bound" => disk_bound = true,
+            "--assert-direct" => assert_direct = true,
             other => {
                 eprintln!("unknown option `{other}`");
                 std::process::exit(2);
@@ -99,6 +111,15 @@ fn main() {
             Ok(pair) => cache = Some(pair),
             Err(e) => eprintln!("  cache-miss comparison FAILED: {e}"),
         }
+    }
+
+    eprintln!("running synthesis-search benchmarks (arena vs reference engine)…");
+    let synthesis = synthesis_stats();
+    for s in &synthesis {
+        eprintln!(
+            "  {:<40} explored={:>5} {:>8.0} programs/s  {:.3}s vs reference {:.3}s ({:.2}x)",
+            s.name, s.explored, s.programs_per_sec, s.seconds, s.reference_seconds, s.speedup
+        );
     }
 
     eprintln!("running engine throughput workloads (scale {engine_scale})…");
@@ -149,6 +170,7 @@ fn main() {
         cache,
         &real,
         &engine,
+        &synthesis,
         before_doc.as_ref(),
     );
     validate_bench_doc(&doc).expect("generated document must satisfy its own schema");
@@ -156,6 +178,12 @@ fn main() {
     eprintln!("wrote {out_path}");
     if diverged {
         eprintln!("FAIL: a real-I/O run disagreed with the simulator (see match=false above)");
+        std::process::exit(1);
+    }
+    if assert_direct && !real.iter().any(|r| r.report.direct_io) {
+        eprintln!(
+            "FAIL: --assert-direct, but no real-I/O workload engaged O_DIRECT              (buffered fallback everywhere — is this tmpfs, or was --disk-bound omitted?)"
+        );
         std::process::exit(1);
     }
 

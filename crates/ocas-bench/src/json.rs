@@ -312,7 +312,7 @@ mod tests {
     #[test]
     fn round_trips_a_document() {
         let doc = Json::obj(vec![
-            ("schema", Json::str("ocas-bench/v1")),
+            ("schema", Json::str("ocas-bench/v2")),
             ("pi", Json::num(3.5)),
             ("count", Json::num(42.0)),
             ("ok", Json::Bool(true)),

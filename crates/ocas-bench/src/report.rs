@@ -13,7 +13,7 @@ use ocas_runtime::{FileBackend, PoolConfig, RealReport, Runtime, RuntimeError};
 use ocas_storage::{StorageBackend, StorageSim};
 
 /// The document's schema tag; bump on breaking layout changes.
-pub const SCHEMA: &str = "ocas-bench/v1";
+pub const SCHEMA: &str = "ocas-bench/v2";
 
 /// One named real-I/O measurement.
 pub struct RealRow {
@@ -78,6 +78,7 @@ fn real_json(r: &RealRow) -> Json {
         ("bytes_written", Json::num(bytes_written as f64)),
         ("pool_hits", Json::num(pool_hits as f64)),
         ("pool_misses", Json::num(pool_misses as f64)),
+        ("direct_io", Json::Bool(r.report.direct_io)),
     ])
 }
 
@@ -259,6 +260,118 @@ pub fn engine_throughput(scale: u64) -> Result<Vec<EngineRow>, RuntimeError> {
     Ok(out)
 }
 
+/// One synthesis-search benchmark entry: the arena/parallel engine vs the
+/// legacy reference engine on one Table 1 row's exact search settings.
+#[derive(Debug, Clone)]
+pub struct SynthesisRow {
+    /// Table 1 row name.
+    pub name: String,
+    /// Distinct programs explored (identical for both engines by the
+    /// determinism contract; `bench_json --check` compares it exactly).
+    pub explored: usize,
+    /// Candidates generated before deduplication.
+    pub generated: usize,
+    /// Candidates rejected by the type checker.
+    pub rejected_type: usize,
+    /// Candidates rejected by differential validation.
+    pub rejected_semantics: usize,
+    /// Longest derivation.
+    pub depth_reached: u32,
+    /// Distinct hash-consed nodes in the arena engine's term store.
+    pub arena_nodes: usize,
+    /// Arena engine search wall seconds (best of [`SYNTH_BENCH_RUNS`]).
+    pub seconds: f64,
+    /// Legacy reference engine wall seconds (best of the same runs).
+    pub reference_seconds: f64,
+    /// `reference_seconds / seconds`.
+    pub speedup: f64,
+    /// `explored / seconds`.
+    pub programs_per_sec: f64,
+}
+
+/// Timing repetitions per engine in [`synthesis_stats`]; the best run is
+/// reported (single-machine wall clocks are noisy at the tens of
+/// milliseconds these searches take).
+pub const SYNTH_BENCH_RUNS: usize = 3;
+
+/// Regression floor for the synthesis `speedup` ratio: a fresh run may not
+/// fall below `baseline_speedup / SYNTH_SPEEDUP_TOLERANCE`. The ratio pits
+/// two engines run back-to-back on the same machine, so it is far more
+/// stable than absolute wall clocks — it gets a real floor instead of the
+/// generous `--check-tolerance` the clocks need.
+pub const SYNTH_SPEEDUP_TOLERANCE: f64 = 2.0;
+
+/// Measures the synthesis search on the two largest-search Table 1 rows:
+/// both engines at the rows' exact Table 1 settings (validation on, the
+/// rows' rule exclusions). Panics if the engines disagree on any
+/// deterministic statistic — the same invariant the parity regression test
+/// pins across all sixteen rows.
+pub fn synthesis_stats() -> Vec<SynthesisRow> {
+    let rows = [
+        ocas::experiments::bnl_no_writeout(),
+        ocas::experiments::bnl_with_cache(),
+    ];
+    let mut out = Vec::new();
+    for e in rows {
+        let mut best_new = f64::INFINITY;
+        let mut best_ref = f64::INFINITY;
+        let mut result = None;
+        for _ in 0..SYNTH_BENCH_RUNS {
+            let reference = e
+                .run_search(true, 1, None)
+                .expect("reference search must succeed");
+            best_ref = best_ref.min(reference.stats.seconds);
+            // workers = 1: the committed ratio isolates the arena engine
+            // itself (zipper dedup, interned keys, check exemptions) and
+            // stays comparable across machines with different core counts;
+            // parallel frontier expansion is a further machine-dependent
+            // win on top.
+            let arena = e
+                .run_search(false, 1, None)
+                .expect("arena search must succeed");
+            best_new = best_new.min(arena.stats.seconds);
+            assert_eq!(
+                reference.stats.deterministic(),
+                arena.stats.deterministic(),
+                "engines diverged on `{}`",
+                e.name
+            );
+            result = Some(arena);
+        }
+        let stats = result.expect("at least one run").stats;
+        out.push(SynthesisRow {
+            name: e.name.clone(),
+            explored: stats.explored,
+            generated: stats.generated,
+            rejected_type: stats.rejected_type,
+            rejected_semantics: stats.rejected_semantics,
+            depth_reached: stats.depth_reached,
+            arena_nodes: stats.arena_nodes,
+            seconds: best_new,
+            reference_seconds: best_ref,
+            speedup: best_ref / best_new.max(f64::MIN_POSITIVE),
+            programs_per_sec: stats.explored as f64 / best_new.max(f64::MIN_POSITIVE),
+        });
+    }
+    out
+}
+
+fn synthesis_json(r: &SynthesisRow) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(&r.name)),
+        ("explored", Json::num(r.explored as f64)),
+        ("generated", Json::num(r.generated as f64)),
+        ("rejected_type", Json::num(r.rejected_type as f64)),
+        ("rejected_semantics", Json::num(r.rejected_semantics as f64)),
+        ("depth_reached", Json::num(r.depth_reached as f64)),
+        ("arena_nodes", Json::num(r.arena_nodes as f64)),
+        ("seconds", Json::num(r.seconds)),
+        ("reference_seconds", Json::num(r.reference_seconds)),
+        ("speedup", Json::num(r.speedup)),
+        ("programs_per_sec", Json::num(r.programs_per_sec)),
+    ])
+}
+
 /// Figure 7 device constants (sizes and page sizes of the paper platform).
 fn figures_json() -> Json {
     let h = presets::paper_platform(32 << 20);
@@ -299,6 +412,7 @@ pub fn bench_doc(
     cache_misses: Option<(u64, u64)>,
     real: &[RealRow],
     engine: &[EngineRow],
+    synthesis: &[SynthesisRow],
     engine_baseline: Option<&Json>,
 ) -> Json {
     let engine_entries: Vec<Json> = engine
@@ -317,6 +431,10 @@ pub fn bench_doc(
         ),
         ("figures", figures_json()),
         ("engine", Json::Arr(engine_entries)),
+        (
+            "synthesis",
+            Json::Arr(synthesis.iter().map(synthesis_json).collect()),
+        ),
         ("real", Json::Arr(real.iter().map(real_json).collect())),
     ];
     if let Some((untiled, tiled)) = cache_misses {
@@ -334,7 +452,7 @@ pub fn bench_doc(
     Json::obj(pairs)
 }
 
-/// Checks a document against the `ocas-bench/v1` schema. Sections may be
+/// Checks a document against the `ocas-bench/v2` schema. Sections may be
 /// empty arrays (a partial regeneration) but must be present and
 /// well-typed; every `real` entry must carry both clocks.
 pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
@@ -345,7 +463,7 @@ pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
     if schema != SCHEMA {
         return Err(format!("schema `{schema}` is not `{SCHEMA}`"));
     }
-    let sections: [(&str, &[&str]); 4] = [
+    let sections: [(&str, &[&str]); 5] = [
         (
             "table1",
             &[
@@ -369,6 +487,20 @@ pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
                 "rows_out",
                 "seconds",
                 "rows_per_sec",
+            ],
+        ),
+        (
+            "synthesis",
+            &[
+                "name",
+                "explored",
+                "generated",
+                "rejected_type",
+                "rejected_semantics",
+                "depth_reached",
+                "seconds",
+                "reference_seconds",
+                "speedup",
             ],
         ),
         (
@@ -477,6 +609,55 @@ pub fn check_regressions(
         if wall > tol * base_wall {
             failures.push(format!(
                 "real `{name}`: wall_seconds {wall:.4} > {tol}x baseline {base_wall:.4}"
+            ));
+        }
+    }
+
+    for entry in arr(doc, "synthesis") {
+        let name = entry
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let Some(base) = arr(baseline, "synthesis")
+            .into_iter()
+            .find(|b| b.get("name").and_then(Json::as_str) == Some(&name))
+        else {
+            continue;
+        };
+        compared += 1;
+        let num = |e: &Json, f: &str| e.get(f).and_then(Json::as_num).unwrap_or(f64::NAN);
+        // The explored space is deterministic by the engine contract:
+        // compare exactly. Any drift here means the search changed (or the
+        // parallel merge broke) and must be an explicit baseline update.
+        for field in [
+            "explored",
+            "generated",
+            "rejected_type",
+            "rejected_semantics",
+            "depth_reached",
+        ] {
+            let (got, want) = (num(&entry, field), num(&base, field));
+            if got != want {
+                failures.push(format!(
+                    "synthesis `{name}`: {field} {got} != baseline {want}"
+                ));
+            }
+        }
+        let (secs, base_secs) = (num(&entry, "seconds"), num(&base, "seconds"));
+        if secs > tol * base_secs {
+            failures.push(format!(
+                "synthesis `{name}`: seconds {secs:.4} > {tol}x baseline {base_secs:.4}"
+            ));
+        }
+        // The committed speedup (arena engine vs legacy reference) may not
+        // collapse: both engines run back-to-back on the same machine, so
+        // the ratio gets a real floor (SYNTH_SPEEDUP_TOLERANCE), not the
+        // generous wall-clock tolerance.
+        let (speedup, base_speedup) = (num(&entry, "speedup"), num(&base, "speedup"));
+        if speedup * SYNTH_SPEEDUP_TOLERANCE < base_speedup {
+            failures.push(format!(
+                "synthesis `{name}`: speedup {speedup:.2}x < baseline {base_speedup:.2}x / {SYNTH_SPEEDUP_TOLERANCE}"
             ));
         }
     }

@@ -7,7 +7,8 @@
 
 use ocas_bench::json::Json;
 use ocas_bench::report::{
-    bench_doc, check_regressions, engine_throughput, real_workloads, validate_bench_doc, SCHEMA,
+    bench_doc, check_regressions, engine_throughput, real_workloads, synthesis_stats,
+    validate_bench_doc, SCHEMA,
 };
 
 #[test]
@@ -23,7 +24,7 @@ fn fresh_real_document_validates() {
         assert!(r.report.wall_seconds > 0.0);
         assert!(r.report.sim_seconds > 0.0);
     }
-    let doc = bench_doc(&[], &[], None, &real, &[], None);
+    let doc = bench_doc(&[], &[], None, &real, &[], &[], None);
     validate_bench_doc(&doc).expect("schema");
     // And it survives a serialization round trip.
     let back = Json::parse(&doc.pretty()).expect("parse back");
@@ -77,6 +78,18 @@ fn committed_trajectory_point_validates() {
             "committed engine entry regressed vs its before-number: {e:?}"
         );
     }
+    // The synthesis section records the interned/parallel search rework:
+    // the two largest-search Table 1 rows must commit a ≥4x search
+    // wall-clock speedup of the arena engine over the legacy reference.
+    let synthesis = doc.get("synthesis").unwrap().as_arr().unwrap();
+    assert_eq!(synthesis.len(), 2, "two largest-search rows recorded");
+    for s in synthesis {
+        let speedup = s.get("speedup").and_then(Json::as_num).unwrap_or(0.0);
+        assert!(
+            speedup >= 4.0,
+            "committed synthesis speedup {speedup:.2}x below the 4x claim: {s:?}"
+        );
+    }
 }
 
 #[test]
@@ -84,20 +97,27 @@ fn validator_rejects_malformed_documents() {
     let bad = Json::obj(vec![("schema", Json::str("something/else"))]);
     assert!(validate_bench_doc(&bad).is_err());
     let missing_field = Json::parse(
-        r#"{"schema": "ocas-bench/v1", "table1": [], "figure8": [], "engine": [],
-            "figures": {"paper_platform_devices": []},
+        r#"{"schema": "ocas-bench/v2", "table1": [], "figure8": [], "engine": [],
+            "figures": {"paper_platform_devices": []}, "synthesis": [],
             "real": [{"name": "x"}]}"#,
     )
     .unwrap();
     let err = validate_bench_doc(&missing_field).unwrap_err();
     assert!(err.contains("real[0]"), "{err}");
     let missing_engine = Json::parse(
-        r#"{"schema": "ocas-bench/v1", "table1": [], "figure8": [],
-            "figures": {"paper_platform_devices": []}, "real": []}"#,
+        r#"{"schema": "ocas-bench/v2", "table1": [], "figure8": [],
+            "figures": {"paper_platform_devices": []}, "synthesis": [], "real": []}"#,
     )
     .unwrap();
     let err = validate_bench_doc(&missing_engine).unwrap_err();
     assert!(err.contains("engine"), "{err}");
+    let missing_synthesis = Json::parse(
+        r#"{"schema": "ocas-bench/v2", "table1": [], "figure8": [], "engine": [],
+            "figures": {"paper_platform_devices": []}, "real": []}"#,
+    )
+    .unwrap();
+    let err = validate_bench_doc(&missing_synthesis).unwrap_err();
+    assert!(err.contains("synthesis"), "{err}");
 }
 
 #[test]
@@ -131,15 +151,30 @@ fn engine_throughput_covers_every_template_on_both_backends() {
 
 fn check_fixture_scaled(wall: f64, bytes: f64, rps: f64, scale: u64) -> Json {
     Json::parse(&format!(
-        r#"{{"schema": "ocas-bench/v1", "table1": [], "figure8": [],
+        r#"{{"schema": "ocas-bench/v2", "table1": [], "figure8": [],
             "figures": {{"paper_platform_devices": []}},
             "engine": [{{"template": "external-sort", "backend": "sim",
                         "rows_in": 1000, "rows_out": 1000, "seconds": 1.0,
                         "rows_per_sec": {rps}}}],
+            "synthesis": [],
             "real": [{{"name": "w", "scale": {scale}, "wall_seconds": {wall},
                       "io_seconds": 0.1, "sim_seconds": 1.0, "output_rows": 10,
                       "outputs_match": true,
                       "bytes_read": {bytes}, "bytes_written": 0}}]}}"#
+    ))
+    .unwrap()
+}
+
+fn synthesis_fixture(explored: u64, seconds: f64, speedup: f64) -> Json {
+    Json::parse(&format!(
+        r#"{{"schema": "ocas-bench/v2", "table1": [], "figure8": [], "engine": [],
+            "figures": {{"paper_platform_devices": []}}, "real": [],
+            "synthesis": [{{"name": "BNL - No writeout", "explored": {explored},
+                           "generated": 3000, "rejected_type": 0,
+                           "rejected_semantics": 5, "depth_reached": 5,
+                           "arena_nodes": 1800, "seconds": {seconds},
+                           "reference_seconds": 0.4, "speedup": {speedup},
+                           "programs_per_sec": 10000}}]}}"#
     ))
     .unwrap()
 }
@@ -174,9 +209,40 @@ fn regression_checker_accepts_within_tolerance_and_rejects_beyond() {
     assert_eq!(check_regressions(&scaled, &baseline, 10.0), Ok(1));
     // Unmatched names are skipped, not failed.
     let empty = Json::parse(
-        r#"{"schema": "ocas-bench/v1", "table1": [], "figure8": [], "engine": [],
-            "figures": {"paper_platform_devices": []}, "real": []}"#,
+        r#"{"schema": "ocas-bench/v2", "table1": [], "figure8": [], "engine": [],
+            "figures": {"paper_platform_devices": []}, "synthesis": [], "real": []}"#,
     )
     .unwrap();
     assert_eq!(check_regressions(&baseline, &empty, 25.0), Ok(0));
+}
+
+#[test]
+fn regression_checker_pins_synthesis_determinism_and_speedup() {
+    let baseline = synthesis_fixture(900, 0.1, 4.0);
+    assert_eq!(check_regressions(&baseline, &baseline, 25.0), Ok(1));
+    // The explored space is deterministic: any drift fails exactly.
+    let drifted = synthesis_fixture(901, 0.1, 4.0);
+    let errs = check_regressions(&drifted, &baseline, 25.0).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("explored")), "{errs:?}");
+    // A collapsed arena-vs-reference speedup fails (ratio of two clocks on
+    // the same machine, so the floor is much tighter than raw seconds).
+    let collapsed = synthesis_fixture(900, 0.1, 0.3);
+    let errs = check_regressions(&collapsed, &baseline, 10.0).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("speedup")), "{errs:?}");
+    // Slower absolute seconds within tolerance still pass.
+    let slower = synthesis_fixture(900, 1.5, 4.0);
+    assert_eq!(check_regressions(&slower, &baseline, 25.0), Ok(1));
+}
+
+#[test]
+fn fresh_synthesis_section_validates_and_engines_agree() {
+    let synthesis = synthesis_stats();
+    assert_eq!(synthesis.len(), 2, "the two largest-search Table 1 rows");
+    for s in &synthesis {
+        assert!(s.explored > 100, "{s:?}");
+        assert!(s.seconds > 0.0 && s.reference_seconds > 0.0, "{s:?}");
+        assert!(s.arena_nodes > 0, "{s:?}");
+    }
+    let doc = bench_doc(&[], &[], None, &[], &[], &synthesis, None);
+    validate_bench_doc(&doc).expect("schema");
 }

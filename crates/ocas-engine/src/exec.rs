@@ -535,49 +535,34 @@ impl<B: StorageBackend> Executor<B> {
             let mut ib = 0;
             while ib < irows.len() {
                 let iend = (ib + ti).min(irows.len());
-                if self.cache.is_none() {
-                    // Hot path: no per-access cache accounting — drive the
-                    // pair loop off chunk iterators over the flat tiles
-                    // (no per-row index arithmetic or bounds checks).
-                    let osub = &orows.as_slice()[ob * ow..oend * ow];
-                    let isub = &irows.as_slice()[ib * iw..iend * iw];
-                    for x in osub.chunks_exact(ow) {
-                        match pred {
-                            JoinPred::Cross => {
-                                for y in isub.chunks_exact(iw) {
+                // The pair loop always drives off chunk iterators over the
+                // flat tiles (no per-row index arithmetic or bounds
+                // checks). With a cache simulator attached, accounting is
+                // batched per outer row: one `access` for the outer tuple,
+                // one `access_tuples` for the whole inner tile — exactly
+                // the per-tuple access stream (pinned by a parity test in
+                // `ocas-storage`) at per-line instead of per-tuple cost.
+                let osub = &orows.as_slice()[ob * ow..oend * ow];
+                let isub = &irows.as_slice()[ib * iw..iend * iw];
+                for (i, x) in osub.chunks_exact(ow).enumerate() {
+                    if let Some(c) = &mut self.cache {
+                        c.access(oaddr(ob + i), orel.tuple_bytes);
+                        c.access_tuples(iaddr(ib), irel.tuple_bytes, (iend - ib) as u64);
+                    }
+                    match pred {
+                        JoinPred::Cross => {
+                            for y in isub.chunks_exact(iw) {
+                                *emits += 1;
+                                sink.emit_concat(&mut self.sm, x, y)?;
+                            }
+                        }
+                        JoinPred::KeyEq => {
+                            let x0 = x[0];
+                            for y in isub.chunks_exact(iw) {
+                                if x0 == y[0] {
                                     *emits += 1;
                                     sink.emit_concat(&mut self.sm, x, y)?;
                                 }
-                            }
-                            JoinPred::KeyEq => {
-                                let x0 = x[0];
-                                for y in isub.chunks_exact(iw) {
-                                    if x0 == y[0] {
-                                        *emits += 1;
-                                        sink.emit_concat(&mut self.sm, x, y)?;
-                                    }
-                                }
-                            }
-                        }
-                    }
-                } else {
-                    for odx in ob..oend {
-                        let x = orows.row(odx);
-                        if let Some(c) = &mut self.cache {
-                            c.access(oaddr(odx), orel.tuple_bytes);
-                        }
-                        for idx in ib..iend {
-                            let y = irows.row(idx);
-                            if let Some(c) = &mut self.cache {
-                                c.access(iaddr(idx), irel.tuple_bytes);
-                            }
-                            let matched = match pred {
-                                JoinPred::Cross => true,
-                                JoinPred::KeyEq => x.first() == y.first(),
-                            };
-                            if matched {
-                                *emits += 1;
-                                sink.emit_concat(&mut self.sm, x, y)?;
                             }
                         }
                     }

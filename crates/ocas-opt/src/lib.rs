@@ -298,6 +298,73 @@ pub fn optimize(problem: &Problem) -> Result<Optimum, OptError> {
     })
 }
 
+/// An admissible lower bound on the constrained optimum of `problem`,
+/// used by the synthesizer's opt-in branch-and-bound prune.
+///
+/// The objective is simplified to a sum of terms and each term is
+/// minimized **independently** over the `{lo, hi}` corners of the
+/// parameters it mentions (constraints ignored). Since
+/// `min_x Σᵢ tᵢ(x) ≥ Σᵢ min_x tᵢ(x)` and relaxing the constraints only
+/// lowers each per-term minimum further, the sum of per-term minima never
+/// exceeds the candidate's true constrained optimum whenever every term is
+/// coordinate-monotone — which the cost annotator's transfer terms
+/// (posynomials in the block sizes, optionally under `ceil`) are. Terms
+/// mentioning more than [`MAX_BOUND_PARAMS`] parameters, or not evaluable
+/// at any corner, contribute zero (the bound stays valid for the
+/// non-negative seconds formulas the annotator emits).
+pub fn admissible_lower_bound(problem: &Problem) -> Result<f64, OptError> {
+    let simplified = ocas_symbolic::simplify(&problem.objective);
+    let terms: Vec<Sym> = match simplified {
+        Sym::Add(ts) => ts,
+        other => vec![other],
+    };
+    let mut total = 0.0f64;
+    let mut any_evaluable = false;
+    for term in &terms {
+        let vars = term.vars();
+        let involved: Vec<&ParamSpec> = problem
+            .params
+            .iter()
+            .filter(|p| vars.contains(&p.name))
+            .collect();
+        if involved.len() > MAX_BOUND_PARAMS {
+            continue; // Contributes 0; bound stays below the optimum.
+        }
+        let mut best: Option<f64> = None;
+        for corner in 0..(1u32 << involved.len()) {
+            let mut env = problem.fixed.clone();
+            // Unmentioned parameters still need *some* value for eval.
+            for p in &problem.params {
+                env.set(p.name.clone(), p.lo.max(1.0));
+            }
+            for (bit, p) in involved.iter().enumerate() {
+                let v = if corner & (1 << bit) == 0 {
+                    p.lo.max(1.0)
+                } else {
+                    p.hi()
+                };
+                env.set(p.name.clone(), v);
+            }
+            if let Ok(v) = eval(term, &env) {
+                if v.is_finite() {
+                    best = Some(best.map_or(v, |b: f64| b.min(v)));
+                    any_evaluable = true;
+                }
+            }
+        }
+        total += best.unwrap_or(0.0);
+    }
+    if !any_evaluable && !terms.is_empty() {
+        return Err(OptError::Unevaluable(
+            "no term evaluable at any corner".into(),
+        ));
+    }
+    Ok(total)
+}
+
+/// Per-term parameter cap for [`admissible_lower_bound`]'s corner sweep.
+pub const MAX_BOUND_PARAMS: usize = 12;
+
 /// Exhaustive powers-of-two coordinate descent — the ablation baseline.
 /// Each parameter sweeps `2⁰ … 2⁴⁰` (clamped to its box) while the others
 /// stay fixed, repeating until no coordinate improves. Infeasible points are
@@ -497,6 +564,45 @@ mod tests {
         assert!(a.objective < 2100.0, "{a:?}");
         assert!(b.objective < 2100.0, "{b:?}");
         assert!((a.objective - b.objective).abs() / a.objective < 0.05);
+    }
+
+    #[test]
+    fn admissible_lower_bound_never_exceeds_the_optimum() {
+        // Posynomial-style problems of the kind the cost annotator emits:
+        // the bound must sit at or below every optimizer's result.
+        let problems = vec![
+            Problem {
+                objective: Sym::int(1000) / v("k") + v("k") / Sym::int(100),
+                params: vec![ParamSpec::new("k", Some(1e9))],
+                constraints: vec![],
+                fixed: Env::new(),
+            },
+            Problem {
+                objective: v("x") / v("k1") + v("x") * v("y") / (v("k1") * v("k2")),
+                params: vec![
+                    ParamSpec::new("k1", Some(1e6)),
+                    ParamSpec::new("k2", Some(1e6)),
+                ],
+                constraints: vec![(v("k1") + v("k2"), Sym::int(1_000_000))],
+                fixed: Env::new().with("x", 1e9).with("y", 3e7),
+            },
+            Problem {
+                objective: (Sym::int(30) / v("k")).ceil() * Sym::int(100) + v("k"),
+                params: vec![ParamSpec::new("k", Some(64.0))],
+                constraints: vec![],
+                fixed: Env::new(),
+            },
+        ];
+        for p in &problems {
+            let lb = admissible_lower_bound(p).unwrap();
+            let opt = optimize(p).or_else(|_| ladder_search(p)).unwrap();
+            assert!(
+                lb <= opt.objective + 1e-9,
+                "bound {lb} exceeds optimum {} for {p:?}",
+                opt.objective
+            );
+            assert!(lb >= 0.0, "transfer-term bound went negative: {lb}");
+        }
     }
 
     #[test]

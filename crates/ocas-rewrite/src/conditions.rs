@@ -11,7 +11,7 @@
 //! cross-bucket pairs).
 
 use ocal::gen::{random_value, GenConfig, Rng};
-use ocal::{Evaluator, Expr, Type, TypeEnv, Value};
+use ocal::{BlockSize, DefName, Evaluator, Expr, Type, TypeEnv, Value};
 use std::collections::BTreeMap;
 
 /// How candidate outputs must relate to the specification's output.
@@ -110,10 +110,46 @@ pub fn outputs_equal(a: &Value, b: &Value, eq: Equivalence) -> bool {
     }
 }
 
+/// Block-size parameter names of `e` in first-occurrence pre-order — the
+/// same order the dedup canonicalization numbers them in. Assigning test
+/// values by this position (rather than by the digits in the generated
+/// name) makes validation verdicts independent of how fresh names were
+/// numbered, which is what lets the arena search and the reference engine
+/// agree candidate-for-candidate.
+fn params_in_order(e: &Expr, out: &mut Vec<String>) {
+    let mut push = |b: &BlockSize| {
+        if let BlockSize::Param(p) = b {
+            if !out.iter().any(|q| q == p) {
+                out.push(p.clone());
+            }
+        }
+    };
+    match e {
+        Expr::For {
+            block, out_block, ..
+        } => {
+            push(block);
+            push(out_block);
+        }
+        Expr::DefRef(DefName::TreeFold(k)) | Expr::DefRef(DefName::HashPartition(k)) => push(k),
+        Expr::DefRef(DefName::UnfoldR { b_in, b_out }) => {
+            push(b_in);
+            push(b_out);
+        }
+        _ => {}
+    }
+    for c in e.children() {
+        params_in_order(c, out);
+    }
+}
+
 /// Runs `candidate` against `spec` on random inputs. Returns `true` iff all
 /// rounds agree (a candidate that *errors* on any input is rejected, so the
 /// check is conservative).
 pub fn differential_check(spec: &Expr, candidate: &Expr, cfg: &ValidationCfg) -> bool {
+    let mut params: Vec<String> = Vec::new();
+    params_in_order(spec, &mut params);
+    params_in_order(candidate, &mut params);
     let mut rng = Rng::new(cfg.seed);
     for round in 0..cfg.rounds {
         let mut inputs: BTreeMap<String, Value> = BTreeMap::new();
@@ -123,11 +159,11 @@ pub fn differential_check(spec: &Expr, candidate: &Expr, cfg: &ValidationCfg) ->
         // The spec must itself evaluate; otherwise the inputs are outside
         // the program's domain (e.g. head of empty) and the round is
         // skipped rather than failed.
-        let spec_out = match evaluator(cfg, round).run(spec, &inputs) {
+        let spec_out = match evaluator(cfg, round, &params).run(spec, &inputs) {
             Ok(v) => v,
             Err(_) => continue,
         };
-        let cand_out = match evaluator(cfg, round).run(candidate, &inputs) {
+        let cand_out = match evaluator(cfg, round, &params).run(candidate, &inputs) {
             Ok(v) => v,
             Err(_) => return false,
         };
@@ -138,22 +174,26 @@ pub fn differential_check(spec: &Expr, candidate: &Expr, cfg: &ValidationCfg) ->
     true
 }
 
-fn evaluator(cfg: &ValidationCfg, round: u32) -> Evaluator {
+fn evaluator(cfg: &ValidationCfg, round: u32, params: &[String]) -> Evaluator {
     let mut ev = Evaluator::new().with_fuel(20_000_000);
     // Cycle through the configured parameter test values so that different
-    // rounds exercise different block sizes.
+    // rounds exercise different block sizes. Values are keyed by the
+    // parameter's first-occurrence position, so every parameter in the
+    // candidate is resolved no matter how high its generated index is.
     let pv = &cfg.param_values;
     let pick = |i: usize| pv[(i + round as usize) % pv.len()];
-    // Any parameter name that appears will be resolved lazily: pre-populate
-    // a generous set of names used by the rules (k0..k15, s0..s3, b…).
-    for i in 0..16 {
-        ev.params.insert(format!("k{i}"), pick(i));
-    }
-    for i in 0..4 {
-        ev.params.insert(format!("s{i}"), pick(i) + 1);
+    for (i, name) in params.iter().enumerate() {
+        // Partition counts (`s…`) of 1 would make hash partitioning a
+        // no-op; keep them ≥ 2 like the legacy table did.
+        let v = if name.starts_with('s') {
+            pick(i) + 1
+        } else {
+            pick(i)
+        };
+        ev.params.insert(name.clone(), v);
     }
     for name in ["bin", "bout", "b_in", "b_out"] {
-        ev.params.insert(name.to_string(), 2);
+        ev.params.entry(name.to_string()).or_insert(2);
     }
     ev
 }

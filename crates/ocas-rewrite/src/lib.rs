@@ -23,6 +23,21 @@
 //! | *funcPow-intro* | `f ⇒ funcPow[1](f)` inside `treeFold[2]` |
 //! | *inc-branching* | `treeFold[2ᵏ](c, …funcPow[k](f)…) ⇒ treeFold[2ᵏ⁺¹](c, …funcPow[k+1](f)…)` |
 //! | *seq-ac*        | sequentiality annotation on interference-free scans |
+//!
+//! # Search engine
+//!
+//! [`search`] is a level-synchronous BFS over a hash-consed term arena
+//! (`ocal::Interner`): dedup keys are canonical `ocal::ExprId`s computed in
+//! one canonicalize-and-intern pass, frontier levels are expanded by
+//! `std::thread::scope` worker threads, and worker results are merged in
+//! frontier order so statistics and the program list are bit-identical for
+//! every worker count. [`search_with`] additionally takes [`SearchHooks`],
+//! which the synthesizer uses to pipeline cost estimation into the search
+//! loop (`on_program`) and to opt into branch-and-bound pruning
+//! (`should_expand`). [`reference_search`] keeps the original single-queue
+//! engine as the parity oracle, and [`dedup_key`] its owned-`Expr` dedup
+//! key; regression tests hold both engines to identical statistics on every
+//! Table 1 row.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,5 +47,8 @@ mod rules;
 mod search;
 
 pub use conditions::{differential_check, Equivalence, ValidationCfg};
-pub use rules::{default_rules, Rule, RuleCtx};
-pub use search::{search, SearchConfig, SearchResult, SearchStats};
+pub use rules::{default_rules, next_fresh_index, Rule, RuleCtx};
+pub use search::{
+    dedup_key, reference_search, rewrite_everywhere, search, search_with, NoHooks, SearchConfig,
+    SearchHooks, SearchResult, SearchStats,
+};

@@ -1,5 +1,6 @@
 //! The transformation-rule library (paper §6.2).
 
+use crate::conditions::Equivalence;
 use ocal::{BlockSize, DefName, Expr, PrimOp, SeqAnnot, TypeEnv};
 use ocas_hierarchy::Hierarchy;
 use std::collections::BTreeMap;
@@ -51,30 +52,70 @@ impl RuleCtx<'_> {
 
     /// Resolves the device holding a loop source: all free variables of the
     /// source (ignoring locally bound ones) must be inputs mapped to the
-    /// same node.
+    /// same node. Walks the free variables directly (no set is built) —
+    /// this guard runs at every `for` node the search visits.
     pub fn source_device(&self, source: &Expr) -> Option<String> {
-        let mut node: Option<&String> = None;
-        let fv = source.free_vars();
-        let mut saw_input = false;
-        for v in &fv {
-            if self.is_bound(v) {
-                return None; // Bound data lives above the leaves.
-            }
-            match self.input_nodes.get(v) {
-                Some(n) => {
-                    saw_input = true;
-                    if let Some(prev) = node {
-                        if prev != n {
-                            return None;
-                        }
+        // `walk` returns false to abort (some free var is locally bound,
+        // not an input, or on a conflicting node).
+        fn walk<'e>(
+            e: &'e Expr,
+            bound: &mut Vec<&'e str>,
+            cx: &RuleCtx<'_>,
+            node: &mut Option<String>,
+            saw_input: &mut bool,
+        ) -> bool {
+            match e {
+                Expr::Var(v) => {
+                    if bound.iter().any(|b| *b == v) {
+                        return true; // Bound here: not a free variable.
                     }
-                    node = Some(n);
+                    if cx.is_bound(v) {
+                        return false; // Bound data lives above the leaves.
+                    }
+                    match cx.input_nodes.get(v) {
+                        Some(n) => {
+                            *saw_input = true;
+                            if let Some(prev) = node {
+                                if prev != n {
+                                    return false;
+                                }
+                            }
+                            *node = Some(n.clone());
+                            true
+                        }
+                        None => false,
+                    }
                 }
-                None => return None,
+                Expr::Lam { param, body } => {
+                    bound.push(param);
+                    let ok = walk(body, bound, cx, node, saw_input);
+                    bound.pop();
+                    ok
+                }
+                Expr::For {
+                    var, source, body, ..
+                } => {
+                    if !walk(source, bound, cx, node, saw_input) {
+                        return false;
+                    }
+                    bound.push(var);
+                    let ok = walk(body, bound, cx, node, saw_input);
+                    bound.pop();
+                    ok
+                }
+                other => other
+                    .children()
+                    .into_iter()
+                    .all(|c| walk(c, bound, cx, node, saw_input)),
             }
         }
+        let mut node = None;
+        let mut saw_input = false;
+        if !walk(source, &mut Vec::new(), self, &mut node, &mut saw_input) {
+            return None;
+        }
         if saw_input {
-            node.cloned()
+            node
         } else {
             None
         }
@@ -82,7 +123,11 @@ impl RuleCtx<'_> {
 }
 
 /// A transformation rule `e₁ ⇒ e₂` with its applicability conditions.
-pub trait Rule {
+///
+/// Rules are `Send + Sync` so the search can apply them from parallel
+/// frontier-expansion workers; rules are stateless (all mutable context
+/// lives in [`RuleCtx`]), so implementations are trivially both.
+pub trait Rule: Send + Sync {
     /// The paper's rule name.
     fn name(&self) -> &'static str;
 
@@ -92,8 +137,89 @@ pub trait Rule {
         false
     }
 
+    /// True when every rewrite this rule proposes is guaranteed to have the
+    /// same type as the term it replaces. The search then skips
+    /// re-typechecking those candidates (debug builds still verify the
+    /// claim with an assertion). Defaults to `false` so custom rules get
+    /// the full check unless they opt in.
+    fn preserves_type(&self) -> bool {
+        false
+    }
+
+    /// True when every rewrite this rule proposes is unconditionally
+    /// semantics-preserving **under the given output equivalence** — an
+    /// identity up to the cost model, with no undecidable side conditions.
+    /// *apply-block*'s re-blocking or *seq-ac*'s pure annotation qualify
+    /// under every equivalence; *swap-iter* qualifies under the bag
+    /// equivalences (its independence condition is decidable and checked
+    /// syntactically) but not under `Exact`, where reordering is
+    /// observable. The search skips differential validation for exempt
+    /// candidates (debug builds still verify the claim). Defaults to
+    /// `false`: rules with genuine side conditions (*hash-part*,
+    /// *order-inputs*, …) must stay under the conservative check.
+    fn preserves_semantics(&self, equivalence: Equivalence) -> bool {
+        let _ = equivalence;
+        false
+    }
+
     /// Proposes rewrites of the expression rooted at `e`.
     fn apply(&self, e: &Expr, cx: &mut RuleCtx<'_>) -> Vec<Expr>;
+}
+
+/// Scans `e` for generated-name indices (`k3`/`s3` block-size parameters
+/// and `_3`-suffixed variables) and returns one past the largest, i.e. a
+/// safe starting value for [`RuleCtx::fresh`] that cannot collide with any
+/// name already in the program. This is what makes per-frontier-item fresh
+/// counters deterministic and collision-free regardless of how many other
+/// programs were expanded before this one (the search's parallel workers
+/// rely on it).
+pub fn next_fresh_index(e: &Expr) -> u32 {
+    fn param_idx(p: &str) -> Option<u32> {
+        let rest = p.strip_prefix('k').or_else(|| p.strip_prefix('s'))?;
+        rest.parse().ok()
+    }
+    fn var_idx(v: &str) -> Option<u32> {
+        let (_, suffix) = v.rsplit_once('_')?;
+        suffix.parse().ok()
+    }
+    fn block_idx(b: &BlockSize) -> Option<u32> {
+        b.param_name().and_then(param_idx)
+    }
+    fn go(e: &Expr, max: &mut u32) {
+        let mut bump = |i: Option<u32>| {
+            if let Some(i) = i {
+                *max = (*max).max(i + 1);
+            }
+        };
+        match e {
+            Expr::Var(v) => bump(var_idx(v)),
+            Expr::Lam { param, .. } => bump(var_idx(param)),
+            Expr::For {
+                var,
+                block,
+                out_block,
+                ..
+            } => {
+                bump(var_idx(var));
+                bump(block_idx(block));
+                bump(block_idx(out_block));
+            }
+            Expr::DefRef(DefName::TreeFold(k)) | Expr::DefRef(DefName::HashPartition(k)) => {
+                bump(block_idx(k))
+            }
+            Expr::DefRef(DefName::UnfoldR { b_in, b_out }) => {
+                bump(block_idx(b_in));
+                bump(block_idx(b_out));
+            }
+            _ => {}
+        }
+        for c in e.children() {
+            go(c, max);
+        }
+    }
+    let mut max = 0;
+    go(e, &mut max);
+    max
 }
 
 /// The default rule library, in the paper's order.
@@ -121,6 +247,14 @@ pub struct ApplyBlock;
 impl Rule for ApplyBlock {
     fn name(&self) -> &'static str {
         "apply-block"
+    }
+
+    fn preserves_type(&self) -> bool {
+        true
+    }
+
+    fn preserves_semantics(&self, _equivalence: Equivalence) -> bool {
+        true
     }
 
     fn apply(&self, e: &Expr, cx: &mut RuleCtx<'_>) -> Vec<Expr> {
@@ -172,6 +306,14 @@ impl Rule for UnfoldrBlock {
         "unfoldR-block"
     }
 
+    fn preserves_type(&self) -> bool {
+        true
+    }
+
+    fn preserves_semantics(&self, _equivalence: Equivalence) -> bool {
+        true
+    }
+
     fn apply(&self, e: &Expr, cx: &mut RuleCtx<'_>) -> Vec<Expr> {
         let Expr::DefRef(DefName::UnfoldR { b_in, b_out }) = e else {
             return vec![];
@@ -195,6 +337,14 @@ pub struct Prefetch;
 impl Rule for Prefetch {
     fn name(&self) -> &'static str {
         "prefetch"
+    }
+
+    fn preserves_type(&self) -> bool {
+        true
+    }
+
+    fn preserves_semantics(&self, _equivalence: Equivalence) -> bool {
+        true
     }
 
     fn apply(&self, e: &Expr, cx: &mut RuleCtx<'_>) -> Vec<Expr> {
@@ -238,6 +388,17 @@ pub struct SwapIter;
 impl Rule for SwapIter {
     fn name(&self) -> &'static str {
         "swap-iter"
+    }
+
+    fn preserves_type(&self) -> bool {
+        true
+    }
+
+    fn preserves_semantics(&self, equivalence: Equivalence) -> bool {
+        matches!(
+            equivalence,
+            Equivalence::Bag | Equivalence::BagModuloFieldOrder
+        )
     }
 
     fn apply(&self, e: &Expr, _cx: &mut RuleCtx<'_>) -> Vec<Expr> {
@@ -292,6 +453,17 @@ pub struct SwapIterCond;
 impl Rule for SwapIterCond {
     fn name(&self) -> &'static str {
         "swap-iter-cond"
+    }
+
+    fn preserves_type(&self) -> bool {
+        true
+    }
+
+    fn preserves_semantics(&self, equivalence: Equivalence) -> bool {
+        matches!(
+            equivalence,
+            Equivalence::Bag | Equivalence::BagModuloFieldOrder
+        )
     }
 
     fn apply(&self, e: &Expr, _cx: &mut RuleCtx<'_>) -> Vec<Expr> {
@@ -374,6 +546,10 @@ impl Rule for OrderInputs {
         "order-inputs"
     }
 
+    fn preserves_type(&self) -> bool {
+        true
+    }
+
     fn root_only(&self) -> bool {
         true
     }
@@ -408,6 +584,10 @@ pub struct HashPart;
 impl Rule for HashPart {
     fn name(&self) -> &'static str {
         "hash-part"
+    }
+
+    fn preserves_type(&self) -> bool {
+        true
     }
 
     fn root_only(&self) -> bool {
@@ -475,6 +655,10 @@ impl Rule for FldlToTrfld {
         "fldL-to-trfld"
     }
 
+    fn preserves_type(&self) -> bool {
+        true
+    }
+
     fn apply(&self, e: &Expr, _cx: &mut RuleCtx<'_>) -> Vec<Expr> {
         let Expr::App { func, arg } = e else {
             return vec![];
@@ -498,6 +682,10 @@ pub struct FuncPowIntro;
 impl Rule for FuncPowIntro {
     fn name(&self) -> &'static str {
         "funcPow-intro"
+    }
+
+    fn preserves_type(&self) -> bool {
+        true
     }
 
     fn apply(&self, e: &Expr, _cx: &mut RuleCtx<'_>) -> Vec<Expr> {
@@ -527,6 +715,10 @@ const MAX_BRANCH_LOG: u32 = 10;
 impl Rule for IncBranching {
     fn name(&self) -> &'static str {
         "inc-branching"
+    }
+
+    fn preserves_type(&self) -> bool {
+        true
     }
 
     fn apply(&self, e: &Expr, _cx: &mut RuleCtx<'_>) -> Vec<Expr> {
@@ -594,6 +786,14 @@ pub struct SeqAc;
 impl Rule for SeqAc {
     fn name(&self) -> &'static str {
         "seq-ac"
+    }
+
+    fn preserves_type(&self) -> bool {
+        true
+    }
+
+    fn preserves_semantics(&self, _equivalence: Equivalence) -> bool {
+        true
     }
 
     fn apply(&self, e: &Expr, cx: &mut RuleCtx<'_>) -> Vec<Expr> {

@@ -3,12 +3,44 @@
 //! estimates the cost of each and then selects one with the best
 //! performance"; §7.4 reports the search-space statistics we reproduce in
 //! [`SearchStats`]).
+//!
+//! The engine is a **level-synchronous BFS over a hash-consed term arena**
+//! ([`ocal::Interner`]):
+//!
+//! * Each frontier level is expanded by `cfg.workers` scoped threads
+//!   (`std::thread::scope`; no extra dependencies). Workers apply the rules,
+//!   typecheck and differentially validate candidates concurrently; the
+//!   merge step consumes their results in frontier order, so every
+//!   statistic and the `programs` list itself are **bit-identical to the
+//!   sequential run** regardless of worker count.
+//! * Candidates are enumerated as rewrite *sites* (position path +
+//!   replacement subterm); the dedup key is interned by walking the parent
+//!   tree with the replacement spliced in logically
+//!   ([`ocal::Interner::canonical_at`]), so duplicate candidates — the
+//!   majority in a saturating space — are dropped without ever being
+//!   built. The seen-set is a `HashSet<ExprId>` with O(1) equality.
+//! * Fresh-name counters are derived per frontier item
+//!   ([`next_fresh_index`]) instead of threading one global counter through
+//!   the whole search, which is what allows items to be expanded in any
+//!   order (and in parallel) without changing the outcome.
+//! * Rules that are typed identities skip re-typechecking, and rules that
+//!   are unconditional equivalences skip differential validation (see
+//!   [`Rule::preserves_type`] / [`Rule::preserves_semantics`]); debug
+//!   builds assert both claims on every accepted candidate.
+//!
+//! [`reference_search`] keeps the original single-queue, clone-heavy
+//! implementation as the oracle: the parity regression tests and the
+//! `ocas-bench` `synthesis` section run both and require identical
+//! statistics.
 
-use crate::conditions::{differential_check, ValidationCfg};
-use crate::rules::{Rule, RuleCtx};
-use ocal::{typecheck, BlockSize, DefName, Expr, TypeEnv};
+use crate::conditions::{differential_check, Equivalence, ValidationCfg};
+use crate::rules::{next_fresh_index, Rule, RuleCtx};
+use ocal::intern::FxBuildHasher;
+use ocal::{typecheck, BlockSize, DefName, Expr, ExprId, Interner, Type, TypeEnv};
 use ocas_hierarchy::Hierarchy;
 use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Search configuration.
@@ -21,6 +53,10 @@ pub struct SearchConfig {
     /// Differential validation of every candidate against the spec;
     /// `None` trusts the rules' syntactic guards alone.
     pub validation: Option<ValidationCfg>,
+    /// Frontier-expansion worker threads: `0` picks the machine's available
+    /// parallelism, `1` runs in-line. The result is identical for every
+    /// setting; only wall-clock changes.
+    pub workers: usize,
 }
 
 impl Default for SearchConfig {
@@ -29,12 +65,13 @@ impl Default for SearchConfig {
             max_depth: 7,
             max_programs: 20_000,
             validation: None,
+            workers: 0,
         }
     }
 }
 
 /// Statistics mirroring the paper's Table 1 search columns.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SearchStats {
     /// Number of distinct programs in the explored space (paper: "Search
     /// space").
@@ -47,8 +84,29 @@ pub struct SearchStats {
     pub rejected_semantics: usize,
     /// Longest derivation (paper: "Steps").
     pub depth_reached: u32,
+    /// Programs accepted but not expanded because a [`SearchHooks`] prune
+    /// hook declined them (0 unless branch-and-bound pruning is opted in).
+    pub pruned: usize,
+    /// Distinct hash-consed nodes in the term arena at the end of the
+    /// search (a measure of structural sharing across the space).
+    pub arena_nodes: usize,
     /// Wall-clock seconds spent searching (paper: "OCAS Runtime").
     pub seconds: f64,
+}
+
+impl SearchStats {
+    /// The deterministic subset of the statistics — everything except the
+    /// wall clock. Two runs of the same search (any worker count, either
+    /// engine) must agree on this.
+    pub fn deterministic(&self) -> (usize, usize, usize, usize, u32) {
+        (
+            self.explored,
+            self.generated,
+            self.rejected_type,
+            self.rejected_semantics,
+            self.depth_reached,
+        )
+    }
 }
 
 /// The explored program space.
@@ -61,10 +119,356 @@ pub struct SearchResult {
     pub stats: SearchStats,
 }
 
+/// Caller hooks into the search loop, the mechanism behind pipelined cost
+/// estimation and opt-in branch-and-bound pruning.
+///
+/// Both methods are invoked on the merge thread in **deterministic order**
+/// (program index order), never concurrently.
+pub trait SearchHooks {
+    /// Called once per accepted program, immediately when it enters the
+    /// space (index 0 is the specification). A pipelined coster hands the
+    /// program to its worker pool here instead of waiting for the search
+    /// to finish.
+    fn on_program(&mut self, index: usize, program: &Expr, depth: u32) {
+        let _ = (index, program, depth);
+    }
+
+    /// Return `false` to keep `program` in the space but *not* expand it
+    /// (its would-be descendants are never generated; counted in
+    /// [`SearchStats::pruned`]). The default accepts everything, which
+    /// keeps the explored space bit-identical to the exhaustive BFS.
+    fn should_expand(&mut self, index: usize, program: &Expr, depth: u32) -> bool {
+        let _ = (index, program, depth);
+        true
+    }
+}
+
+/// The do-nothing hooks: plain exhaustive search.
+pub struct NoHooks;
+
+impl SearchHooks for NoHooks {}
+
 /// Runs the BFS.
 ///
 /// `input_nodes`/`output` describe the physical layout (used by *seq-ac*).
 pub fn search(
+    spec: &Expr,
+    env: &TypeEnv,
+    hierarchy: &Hierarchy,
+    input_nodes: &BTreeMap<String, String>,
+    output: Option<String>,
+    rules: &[Box<dyn Rule>],
+    cfg: &SearchConfig,
+) -> Result<SearchResult, ocal::TypeError> {
+    search_with(
+        spec,
+        env,
+        hierarchy,
+        input_nodes,
+        output,
+        rules,
+        cfg,
+        &mut NoHooks,
+    )
+}
+
+/// Per-candidate provenance: the conservative-check exemptions of the rule
+/// that produced it (see [`Rule::preserves_type`]).
+#[derive(Debug, Clone, Copy)]
+struct RuleInfo {
+    preserves_type: bool,
+    preserves_semantics: bool,
+}
+
+/// One candidate as produced (and possibly pre-evaluated) by a worker: the
+/// rewrite site (`path` of `Expr::children` indices into the frontier item)
+/// plus the replacement subterm. The full candidate tree is only
+/// materialized once the dedup key turns out to be new.
+struct CandEval {
+    path: Vec<usize>,
+    repl: Expr,
+    info: RuleInfo,
+    /// Worker-materialized candidate (parallel mode).
+    materialized: Option<Expr>,
+    /// Worker-computed typecheck verdict (None = not computed).
+    ty_ok: Option<bool>,
+    /// Worker-computed differential-validation verdict.
+    sem_ok: Option<bool>,
+}
+
+/// Rebuilds "`e` with the subterm at `path` replaced by `repl`".
+fn splice(e: &Expr, path: &[usize], repl: &Expr) -> Expr {
+    match path.split_first() {
+        None => repl.clone(),
+        Some((&target, rest)) => {
+            let mut i = 0usize;
+            e.map_children(|c| {
+                let out = if i == target {
+                    splice(c, rest, repl)
+                } else {
+                    c.clone()
+                };
+                i += 1;
+                out
+            })
+        }
+    }
+}
+
+/// Everything a frontier-expansion worker needs, shared immutably.
+struct ExpandShared<'a> {
+    rules: &'a [Box<dyn Rule>],
+    hierarchy: &'a Hierarchy,
+    env: &'a TypeEnv,
+    input_nodes: &'a BTreeMap<String, String>,
+    output: &'a Option<String>,
+    spec: &'a Expr,
+    spec_ty: &'a Type,
+    validation: Option<&'a ValidationCfg>,
+}
+
+/// Expands one frontier item: applies every rule at every position. When
+/// `snapshot` is given (parallel mode), the expensive per-candidate checks
+/// are evaluated eagerly — except for candidates whose canonical form is
+/// already in the seen-set snapshot, which the merge step will drop anyway.
+fn expand_item(
+    program: &Expr,
+    shared: &ExpandShared<'_>,
+    snapshot: Option<(&Interner, &HashSet<ExprId, FxBuildHasher>)>,
+) -> Vec<CandEval> {
+    let mut cx = RuleCtx {
+        hierarchy: shared.hierarchy,
+        env: shared.env,
+        input_nodes: shared.input_nodes,
+        output: shared.output.clone(),
+        fresh: next_fresh_index(program),
+        bound: Vec::new(),
+    };
+    let mut out = Vec::new();
+    let eq = shared.validation.map(|v| v.equivalence);
+    rewrite_sites(
+        program,
+        shared.rules,
+        &mut cx,
+        eq,
+        &mut |path, repl, info| {
+            out.push(CandEval {
+                path: path.to_vec(),
+                repl,
+                info,
+                materialized: None,
+                ty_ok: None,
+                sem_ok: None,
+            })
+        },
+    );
+    if let Some((interner, seen)) = snapshot {
+        for ev in &mut out {
+            let cand = splice(program, &ev.path, &ev.repl);
+            let known_dup = interner
+                .find_canonical(&cand)
+                .is_some_and(|id| seen.contains(&id));
+            if known_dup {
+                continue; // Merge will dedup it; don't waste the checks.
+            }
+            let ty_ok = if ev.info.preserves_type {
+                true
+            } else {
+                let ok = matches!(typecheck(&cand, shared.env), Ok(ref t) if t == shared.spec_ty);
+                ev.ty_ok = Some(ok);
+                ok
+            };
+            if ty_ok && !ev.info.preserves_semantics {
+                if let Some(v) = shared.validation {
+                    ev.sem_ok = Some(differential_check(shared.spec, &cand, v));
+                }
+            }
+            ev.materialized = Some(cand);
+        }
+    }
+    out
+}
+
+/// Runs the BFS with caller [`SearchHooks`] — the entry point the
+/// synthesizer uses to pipeline cost estimation into the search loop.
+#[allow(clippy::too_many_arguments)]
+pub fn search_with<H: SearchHooks>(
+    spec: &Expr,
+    env: &TypeEnv,
+    hierarchy: &Hierarchy,
+    input_nodes: &BTreeMap<String, String>,
+    output: Option<String>,
+    rules: &[Box<dyn Rule>],
+    cfg: &SearchConfig,
+    hooks: &mut H,
+) -> Result<SearchResult, ocal::TypeError> {
+    let start = Instant::now();
+    let spec_ty = typecheck(spec, env)?;
+
+    let mut stats = SearchStats::default();
+    let mut interner = Interner::new();
+    let mut seen: HashSet<ExprId, FxBuildHasher> = HashSet::default();
+    let mut programs: Vec<(Expr, u32)> = Vec::new();
+
+    seen.insert(interner.canonical(spec));
+    programs.push((spec.clone(), 0));
+    hooks.on_program(0, spec, 0);
+    let mut frontier: Vec<(Expr, u32)> = Vec::new();
+    if cfg.max_depth > 0 {
+        if hooks.should_expand(0, spec, 0) {
+            frontier.push((spec.clone(), 0));
+        } else {
+            stats.pruned += 1;
+        }
+    }
+
+    let shared = ExpandShared {
+        rules,
+        hierarchy,
+        env,
+        input_nodes,
+        output: &output,
+        spec,
+        spec_ty: &spec_ty,
+        validation: cfg.validation.as_ref(),
+    };
+    let workers = if cfg.workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        cfg.workers
+    };
+
+    while !frontier.is_empty() {
+        let depth = frontier[0].1;
+        debug_assert!(frontier.iter().all(|(_, d)| *d == depth));
+        if depth >= cfg.max_depth || programs.len() >= cfg.max_programs {
+            break;
+        }
+
+        // Expand the whole level (in parallel when it pays).
+        let mut expansions: Vec<(usize, Vec<CandEval>)> = if workers <= 1 || frontier.len() < 2 {
+            frontier
+                .iter()
+                .enumerate()
+                .map(|(i, (p, _))| (i, expand_item(p, &shared, None)))
+                .collect()
+        } else {
+            let next = AtomicUsize::new(0);
+            let sink: Mutex<Vec<(usize, Vec<CandEval>)>> =
+                Mutex::new(Vec::with_capacity(frontier.len()));
+            let interner_ref = &interner;
+            let seen_ref = &seen;
+            let frontier_ref = &frontier;
+            let shared_ref = &shared;
+            std::thread::scope(|s| {
+                for _ in 0..workers.min(frontier_ref.len()) {
+                    s.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= frontier_ref.len() {
+                            break;
+                        }
+                        let exp = expand_item(
+                            &frontier_ref[i].0,
+                            shared_ref,
+                            Some((interner_ref, seen_ref)),
+                        );
+                        sink.lock().unwrap().push((i, exp));
+                    });
+                }
+            });
+            sink.into_inner().unwrap()
+        };
+        expansions.sort_unstable_by_key(|(i, _)| *i);
+
+        // Merge in frontier order: statistics and acceptance decisions are
+        // made here only, so they cannot depend on worker scheduling.
+        let mut next_frontier: Vec<(Expr, u32)> = Vec::new();
+        for ((item, _), (_, evals)) in frontier.iter().zip(expansions) {
+            // Mirrors the reference engine: an item popped after the cap is
+            // reached contributes nothing, not even `generated`.
+            if programs.len() >= cfg.max_programs {
+                continue;
+            }
+            stats.generated += evals.len();
+            for ev in evals {
+                if programs.len() >= cfg.max_programs {
+                    break;
+                }
+                // Dedup without building the candidate: canonicalize the
+                // item tree with the rewrite spliced in at its path.
+                let key = interner.canonical_at(item, &ev.path, &ev.repl);
+                if seen.contains(&key) {
+                    continue;
+                }
+                let cand = ev
+                    .materialized
+                    .unwrap_or_else(|| splice(item, &ev.path, &ev.repl));
+                // Type preservation.
+                let ty_ok = if ev.info.preserves_type {
+                    debug_assert!(
+                        matches!(typecheck(&cand, env), Ok(ref t) if *t == spec_ty),
+                        "rule flagged preserves_type produced an ill-typed candidate: {cand:?}"
+                    );
+                    true
+                } else {
+                    match ev.ty_ok {
+                        Some(ok) => ok,
+                        None => matches!(typecheck(&cand, env), Ok(ref t) if *t == spec_ty),
+                    }
+                };
+                if !ty_ok {
+                    stats.rejected_type += 1;
+                    seen.insert(key);
+                    continue;
+                }
+                // Semantic preservation (conservative differential testing).
+                let sem_ok = match cfg.validation.as_ref() {
+                    None => true,
+                    Some(_) if ev.info.preserves_semantics => {
+                        debug_assert!(
+                            differential_check(spec, &cand, cfg.validation.as_ref().unwrap()),
+                            "rule flagged preserves_semantics produced a diverging candidate: {cand:?}"
+                        );
+                        true
+                    }
+                    Some(v) => match ev.sem_ok {
+                        Some(ok) => ok,
+                        None => differential_check(spec, &cand, v),
+                    },
+                };
+                if !sem_ok {
+                    stats.rejected_semantics += 1;
+                    seen.insert(key);
+                    continue;
+                }
+                seen.insert(key);
+                stats.depth_reached = stats.depth_reached.max(depth + 1);
+                let index = programs.len();
+                hooks.on_program(index, &cand, depth + 1);
+                if depth + 1 < cfg.max_depth {
+                    if hooks.should_expand(index, &cand, depth + 1) {
+                        next_frontier.push((cand.clone(), depth + 1));
+                    } else {
+                        stats.pruned += 1;
+                    }
+                }
+                programs.push((cand, depth + 1));
+            }
+        }
+        frontier = next_frontier;
+    }
+
+    stats.explored = programs.len();
+    stats.arena_nodes = interner.len();
+    stats.seconds = start.elapsed().as_secs_f64();
+    Ok(SearchResult { programs, stats })
+}
+
+/// The original single-queue BFS (one global fresh-name counter, owned
+/// [`Expr`] dedup keys in a `HashSet<Expr>`). Kept verbatim as the test
+/// oracle and the before-baseline of the `ocas-bench` `synthesis` section;
+/// [`search`] must report identical deterministic statistics.
+pub fn reference_search(
     spec: &Expr,
     env: &TypeEnv,
     hierarchy: &Hierarchy,
@@ -139,105 +543,85 @@ pub fn search(
 
 /// Applies every rule at every position of `e`, returning whole programs.
 pub fn rewrite_everywhere(e: &Expr, rules: &[Box<dyn Rule>], cx: &mut RuleCtx<'_>) -> Vec<Expr> {
+    let mut out = Vec::new();
+    rewrite_sites(e, rules, cx, None, &mut |path, repl, _| {
+        out.push(splice(e, path, &repl))
+    });
+    out
+}
+
+/// Applies every rule at every position of `e`, emitting each rewrite as a
+/// site: the position's [`Expr::children`] index path plus the replacement
+/// subterm, together with the producing rule's check exemptions. Emission
+/// order is pre-order over positions with the rules in library order at
+/// each position — identical to the candidate order of the original
+/// rebuild-as-you-go walker, which the engine-parity guarantees rely on.
+fn rewrite_sites(
+    e: &Expr,
+    rules: &[Box<dyn Rule>],
+    cx: &mut RuleCtx<'_>,
+    equivalence: Option<Equivalence>,
+    emit: &mut dyn FnMut(&[usize], Expr, RuleInfo),
+) {
     fn go(
         e: &Expr,
         rules: &[Box<dyn Rule>],
         cx: &mut RuleCtx<'_>,
+        equivalence: Option<Equivalence>,
         is_root: bool,
-        out_of_context: &mut dyn FnMut(Expr),
+        path: &mut Vec<usize>,
+        emit: &mut dyn FnMut(&[usize], Expr, RuleInfo),
     ) {
         for rule in rules {
             if rule.root_only() && !is_root {
                 continue;
             }
+            let info = RuleInfo {
+                preserves_type: rule.preserves_type(),
+                preserves_semantics: equivalence.is_some_and(|eq| rule.preserves_semantics(eq)),
+            };
             for rw in rule.apply(e, cx) {
-                out_of_context(rw);
+                emit(path, rw, info);
             }
         }
-        // Recurse into children, rebuilding the node around each rewrite.
+        // Recurse into children, tracking binders for the rules' guards.
         match e {
             Expr::Lam { param, body } => {
                 cx.bound.push(param.clone());
-                let mut sub = Vec::new();
-                go(body, rules, cx, false, &mut |b| sub.push(b));
+                path.push(0);
+                go(body, rules, cx, equivalence, false, path, emit);
+                path.pop();
                 cx.bound.pop();
-                for b in sub {
-                    out_of_context(Expr::Lam {
-                        param: param.clone(),
-                        body: Box::new(b),
-                    });
-                }
             }
             Expr::For {
-                var,
-                block,
-                source,
-                out_block,
-                body,
-                seq,
+                var, source, body, ..
             } => {
-                let mut src_rewrites = Vec::new();
-                go(source, rules, cx, false, &mut |s| src_rewrites.push(s));
-                for s in src_rewrites {
-                    out_of_context(Expr::For {
-                        var: var.clone(),
-                        block: block.clone(),
-                        source: Box::new(s),
-                        out_block: out_block.clone(),
-                        body: body.clone(),
-                        seq: seq.clone(),
-                    });
-                }
+                path.push(0);
+                go(source, rules, cx, equivalence, false, path, emit);
+                path.pop();
                 cx.bound.push(var.clone());
-                let mut body_rewrites = Vec::new();
-                go(body, rules, cx, false, &mut |b| body_rewrites.push(b));
+                path.push(1);
+                go(body, rules, cx, equivalence, false, path, emit);
+                path.pop();
                 cx.bound.pop();
-                for b in body_rewrites {
-                    out_of_context(Expr::For {
-                        var: var.clone(),
-                        block: block.clone(),
-                        source: source.clone(),
-                        out_block: out_block.clone(),
-                        body: Box::new(b),
-                        seq: seq.clone(),
-                    });
-                }
             }
             other => {
-                let children = other.children();
-                for (i, child) in children.iter().enumerate() {
-                    let mut sub = Vec::new();
-                    go(child, rules, cx, false, &mut |c| sub.push(c));
-                    for c in sub {
-                        out_of_context(replace_child(other, i, c));
-                    }
+                for (i, child) in other.children().iter().enumerate() {
+                    path.push(i);
+                    go(child, rules, cx, equivalence, false, path, emit);
+                    path.pop();
                 }
             }
         }
     }
-    let mut out = Vec::new();
-    go(e, rules, cx, true, &mut |p| out.push(p));
-    out
-}
-
-/// Rebuilds `e` with its `idx`-th child (in `children()` order) replaced.
-fn replace_child(e: &Expr, idx: usize, new_child: Expr) -> Expr {
-    let mut i = 0;
-    let mut slot = Some(new_child);
-    e.map_children(|c| {
-        let out = if i == idx {
-            slot.take().unwrap_or_else(|| c.clone())
-        } else {
-            c.clone()
-        };
-        i += 1;
-        out
-    })
+    go(e, rules, cx, equivalence, true, &mut Vec::new(), emit);
 }
 
 /// Deduplication key: α-canonical form with block-size parameters renamed in
 /// first-occurrence order, so derivations that differ only in the generated
-/// names collapse.
+/// names collapse. This is the legacy owned-`Expr` key;
+/// [`ocal::Interner::canonical`] computes the identical key directly in the
+/// term arena and is what [`search`] uses.
 pub fn dedup_key(e: &Expr) -> Expr {
     let canon = e.alpha_canonical();
     let mut order: Vec<String> = Vec::new();
@@ -345,6 +729,42 @@ mod tests {
     }
 
     #[test]
+    fn interned_canonical_matches_legacy_dedup_key() {
+        // The fused canonicalize-and-intern pass must agree with
+        // intern(dedup_key(·)) — same id iff same legacy key.
+        let exprs = [
+            "for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []",
+            "for (xB [k4] <- R) for (x <- xB) [x]",
+            "for (yB [k9] <- R) for (z <- yB) [z]",
+            "foldL([], unfoldR(mrg))(R)",
+            "treeFold[4](<[], unfoldR(funcPow[2](mrg))>)(R)",
+            "avg(for (pB_1 [k0] <- L) for (p <- pB_1) [p])",
+        ];
+        let mut it = Interner::new();
+        for src in exprs {
+            let e = parse(src).unwrap();
+            assert_eq!(
+                it.canonical(&e),
+                it.intern(&dedup_key(&e)),
+                "fused canonical disagrees with legacy key on {src}"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_at_matches_spliced_canonical() {
+        // Dedup-by-hole must agree with canonicalizing the built candidate.
+        let mut it = Interner::new();
+        let root = parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
+        let repl = parse("for (yB [k3] <- S) for (y <- yB) [y]").unwrap();
+        for path in [vec![], vec![1], vec![0], vec![1, 0]] {
+            let via_hole = it.canonical_at(&root, &path, &repl);
+            let built = splice(&root, &path, &repl);
+            assert_eq!(via_hole, it.canonical(&built), "path {path:?}");
+        }
+    }
+
+    #[test]
     fn bnl_join_space_contains_the_textbook_plan() {
         let h = presets::hdd_ram(8 << 20);
         let env = join_env();
@@ -354,6 +774,7 @@ mod tests {
             max_depth: 5,
             max_programs: 4000,
             validation: Some(ValidationCfg::new(env.clone(), Equivalence::Bag)),
+            workers: 0,
         };
         let result = search(&spec, &env, &h, &inputs, None, &default_rules(), &cfg).unwrap();
         assert!(result.stats.explored > 10, "{:?}", result.stats);
@@ -406,6 +827,7 @@ mod tests {
             validation: Some(
                 ValidationCfg::new(env.clone(), Equivalence::Exact).with_sorted_inputs(),
             ),
+            workers: 0,
         };
         let result = search(&spec, &env, &h, &inputs, None, &default_rules(), &cfg).unwrap();
         let widths: Vec<u64> = result
@@ -448,6 +870,7 @@ mod tests {
             max_depth: 2,
             max_programs: 500,
             validation: Some(ValidationCfg::new(env.clone(), Equivalence::Bag)),
+            workers: 0,
         };
         let result = search(&spec, &env, &h, &inputs, None, &default_rules(), &cfg).unwrap();
         assert!(
@@ -474,10 +897,116 @@ mod tests {
             max_depth: 3,
             max_programs: 200,
             validation: None,
+            workers: 0,
         };
         let result = search(&spec, &env, &h, &inputs, None, &default_rules(), &cfg).unwrap();
         assert!(result.stats.explored >= 2);
         assert!(result.stats.depth_reached >= 1);
+        assert!(result.stats.arena_nodes > 0);
         assert_eq!(result.programs[0].1, 0, "spec first at depth 0");
+    }
+
+    /// Deterministic-merge guarantee: any worker count gives bit-identical
+    /// programs and statistics, and both agree with the reference engine's
+    /// deterministic statistics.
+    #[test]
+    fn worker_count_does_not_change_the_result() {
+        let h = presets::hdd_ram(8 << 20);
+        let env = join_env();
+        let inputs = hdd_inputs(&["R", "S"]);
+        let spec = parse("for (x <- R) for (y <- S) if x.1 == y.1 then [<x, y>] else []").unwrap();
+        let mk = |workers| SearchConfig {
+            max_depth: 4,
+            max_programs: 3000,
+            validation: Some(ValidationCfg::new(env.clone(), Equivalence::Bag)),
+            workers,
+        };
+        let seq = search(&spec, &env, &h, &inputs, None, &default_rules(), &mk(1)).unwrap();
+        let par = search(&spec, &env, &h, &inputs, None, &default_rules(), &mk(4)).unwrap();
+        assert_eq!(seq.stats.deterministic(), par.stats.deterministic());
+        assert_eq!(seq.programs.len(), par.programs.len());
+        for ((a, da), (b, db)) in seq.programs.iter().zip(&par.programs) {
+            assert_eq!(da, db);
+            assert_eq!(a, b, "program lists must match exactly");
+        }
+        let reference =
+            reference_search(&spec, &env, &h, &inputs, None, &default_rules(), &mk(1)).unwrap();
+        assert_eq!(reference.stats.deterministic(), seq.stats.deterministic());
+        // Reference and arena engines number fresh names differently, but
+        // candidate sets must agree up to the canonical key.
+        let keys = |r: &SearchResult| {
+            let mut ks: Vec<Expr> = r.programs.iter().map(|(p, _)| dedup_key(p)).collect();
+            ks.sort();
+            ks
+        };
+        assert_eq!(keys(&reference), keys(&seq));
+    }
+
+    /// Hooks fire in program-index order and pruning is honored.
+    #[test]
+    fn hooks_observe_programs_and_can_prune() {
+        struct Recorder {
+            seen: Vec<(usize, u32)>,
+            prune_from: usize,
+        }
+        impl SearchHooks for Recorder {
+            fn on_program(&mut self, index: usize, _program: &Expr, depth: u32) {
+                self.seen.push((index, depth));
+            }
+            fn should_expand(&mut self, index: usize, _program: &Expr, _depth: u32) -> bool {
+                index < self.prune_from
+            }
+        }
+        let h = presets::hdd_ram(8 << 20);
+        let env = join_env();
+        let inputs = hdd_inputs(&["R", "S"]);
+        let spec = parse("for (x <- R) for (y <- S) [<x, y>]").unwrap();
+        let cfg = SearchConfig {
+            max_depth: 3,
+            max_programs: 500,
+            validation: None,
+            workers: 1,
+        };
+        let mut all = Recorder {
+            seen: Vec::new(),
+            prune_from: usize::MAX,
+        };
+        let full = search_with(
+            &spec,
+            &env,
+            &h,
+            &inputs,
+            None,
+            &default_rules(),
+            &cfg,
+            &mut all,
+        )
+        .unwrap();
+        assert_eq!(all.seen.len(), full.stats.explored);
+        assert!(all.seen.windows(2).all(|w| w[0].0 + 1 == w[1].0));
+        assert_eq!(full.stats.pruned, 0);
+
+        let mut pruned = Recorder {
+            seen: Vec::new(),
+            prune_from: 2,
+        };
+        let cut = search_with(
+            &spec,
+            &env,
+            &h,
+            &inputs,
+            None,
+            &default_rules(),
+            &cfg,
+            &mut pruned,
+        )
+        .unwrap();
+        assert!(cut.stats.pruned > 0);
+        assert!(
+            cut.stats.explored < full.stats.explored,
+            "pruning must shrink the space: {} vs {}",
+            cut.stats.explored,
+            full.stats.explored
+        );
     }
 }

@@ -74,6 +74,12 @@ pub struct RealReport {
     pub sim_devices: Vec<(String, DeviceStats)>,
     /// Per-device buffer-pool statistics of the real execution.
     pub pools: Vec<(String, PoolStats)>,
+    /// True when at least one device of the real execution ran with
+    /// `O_DIRECT` engaged (only possible in
+    /// [`crate::TimingMode::DiskBounded`] on a filesystem that supports
+    /// it). The nightly CI disk-bounded job asserts this so the fallback
+    /// path cannot silently become the only path exercised.
+    pub direct_io: bool,
 }
 
 impl RealReport {
@@ -254,6 +260,7 @@ impl Runtime {
         let io_seconds = fb.clock();
         let real_devices = fb.all_device_stats();
         let pools = fb.pool_stats();
+        let direct_io = fb.any_direct();
         drop(fb);
 
         // Simulated twin: identical plan, identical data.
@@ -283,6 +290,7 @@ impl Runtime {
             real_devices,
             sim_devices,
             pools,
+            direct_io,
         })
     }
 }

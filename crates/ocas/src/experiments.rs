@@ -147,6 +147,52 @@ impl Experiment {
         Ok(synthesizer.synthesize(&self.spec)?)
     }
 
+    /// Runs only the *search* component of this experiment — exactly the
+    /// settings [`Experiment::synthesize`] would use (validation on, the
+    /// row's rule exclusions) but without the costing pipeline. `reference`
+    /// selects the legacy single-queue engine, the before-baseline of the
+    /// `ocas-bench` `synthesis` section; `max_programs` optionally lowers
+    /// the row's exploration cap (the parity regression tests use a small
+    /// cap so debug runs stay fast). Both engines must report identical
+    /// deterministic statistics.
+    pub fn run_search(
+        &self,
+        reference: bool,
+        workers: usize,
+        max_programs: Option<usize>,
+    ) -> Result<ocas_rewrite::SearchResult, ExpError> {
+        let mut validation =
+            ocas_rewrite::ValidationCfg::new(self.spec.env.clone(), self.spec.equivalence);
+        if self.spec.sorted_inputs {
+            validation = validation.with_sorted_inputs();
+        }
+        let cfg = ocas_rewrite::SearchConfig {
+            max_depth: self.depth,
+            max_programs: max_programs.unwrap_or(self.max_programs),
+            validation: Some(validation),
+            workers,
+        };
+        let rules: Vec<Box<dyn ocas_rewrite::Rule>> = ocas_rewrite::default_rules()
+            .into_iter()
+            .filter(|r| !self.exclude_rules.contains(&r.name()))
+            .collect();
+        let engine = if reference {
+            ocas_rewrite::reference_search
+        } else {
+            ocas_rewrite::search
+        };
+        engine(
+            &self.spec.program,
+            &self.spec.env,
+            &self.hierarchy,
+            &self.layout.inputs,
+            self.layout.output.clone(),
+            &rules,
+            &cfg,
+        )
+        .map_err(|e| ExpError::Synth(SynthError::Type(e)))
+    }
+
     /// Lowers + executes a synthesis result, returning simulated seconds.
     pub fn execute(&self, synth: &Synthesis) -> Result<f64, ExpError> {
         let sm = StorageSim::from_hierarchy(&self.hierarchy);

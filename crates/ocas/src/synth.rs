@@ -1,13 +1,33 @@
 //! The synthesizer pipeline: search → cost → parameter tuning → best plan.
+//!
+//! Cost estimation is **pipelined into the search loop** instead of being a
+//! post-hoc pass over the explored space: the search's
+//! [`ocas_rewrite::SearchHooks`] hand each accepted program to a pool of
+//! scoped cost-worker threads (cost analysis + ladder screening) while the
+//! frontier keeps expanding. Results are merged by program index, so with
+//! pruning off the outcome is bit-identical to the old sequential
+//! search-then-cost pass.
+//!
+//! An opt-in branch-and-bound prune ([`PruneCfg`]) additionally skips both
+//! the ladder screening and the *expansion* of candidates whose admissible
+//! cost lower bound ([`ocas_opt::admissible_lower_bound`]) already exceeds
+//! the best tuned cost seen so far. It is OFF by default precisely because
+//! it changes the explored space (Table 1's `explored`/`depth_reached`
+//! stats are pinned against the exhaustive baseline).
 
 use crate::specs::Spec;
 use ocal::Expr;
 use ocas_cost::{CostEngine, CostError, CostReport, Layout};
-use ocas_opt::{ladder_search, optimize, Optimum, Problem};
-use ocas_rewrite::{default_rules, search, Rule, SearchConfig, SearchStats, ValidationCfg};
+use ocas_opt::{admissible_lower_bound, ladder_search, optimize, Optimum, Problem};
+use ocas_rewrite::{
+    default_rules, search_with, Rule, SearchConfig, SearchHooks, SearchStats, ValidationCfg,
+};
 use ocas_symbolic::Expr as Sym;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Mutex;
 
 /// One costed candidate.
 #[derive(Debug, Clone)]
@@ -37,6 +57,9 @@ pub struct Synthesis {
     pub costed: usize,
     /// How many candidates the cost engine could not analyze.
     pub uncosted: usize,
+    /// How many candidates the branch-and-bound screen skipped the ladder
+    /// for (0 unless [`Synthesizer::prune`] is set).
+    pub screened: usize,
 }
 
 /// Synthesizer errors.
@@ -62,6 +85,22 @@ impl fmt::Display for SynthError {
 
 impl std::error::Error for SynthError {}
 
+/// Branch-and-bound pruning policy (opt-in, see [`Synthesizer::prune`]).
+#[derive(Debug, Clone, Copy)]
+pub struct PruneCfg {
+    /// A candidate is pruned when its admissible lower bound exceeds
+    /// `slack ×` the incumbent best tuned cost. `1.0` prunes everything
+    /// that provably cannot win; larger values keep a safety margin of
+    /// candidates whose *descendants* might still improve.
+    pub slack: f64,
+}
+
+impl Default for PruneCfg {
+    fn default() -> PruneCfg {
+        PruneCfg { slack: 1.0 }
+    }
+}
+
 /// The synthesizer: a hierarchy, a physical layout and search settings.
 pub struct Synthesizer {
     /// Target memory hierarchy.
@@ -80,6 +119,108 @@ pub struct Synthesizer {
     /// How many ladder-screened candidates get the full pattern-search
     /// refinement.
     pub refine_top: usize,
+    /// Search frontier-expansion workers (0 = available parallelism).
+    pub search_workers: usize,
+    /// Pipelined cost-estimation workers (0 = available parallelism).
+    pub cost_workers: usize,
+    /// Opt-in branch-and-bound pruning. `None` (the default) keeps the
+    /// search exhaustive and every statistic bit-identical to the
+    /// sequential baseline; `Some` trades that determinism for a smaller
+    /// explored space on cost-dominated workloads.
+    pub prune: Option<PruneCfg>,
+}
+
+/// A program handed from the search thread to the cost workers.
+struct CostJob {
+    index: usize,
+    program: Expr,
+    depth: u32,
+}
+
+/// A cost analysis prepared by the prune hook on the search thread and
+/// handed to the cost workers so the analysis is not repeated there.
+struct PreparedCost {
+    lower_bound: f64,
+    problem: Problem,
+    report: CostReport,
+}
+
+/// What a cost worker produced for one program index.
+enum CostOut {
+    Costed(usize, Box<Candidate>),
+    Uncosted(usize),
+    Screened(usize),
+}
+
+/// Lock-free running minimum over f64 bits (all values are ≥ 0 here, so
+/// the IEEE total order agrees with the numeric order on the bit level).
+fn fetch_min(cell: &AtomicU64, value: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while value < f64::from_bits(cur) {
+        match cell.compare_exchange_weak(cur, value.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => break,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Search hooks implementing the cost pipeline: `on_program` enqueues each
+/// accepted program for the cost workers; `should_expand` consults the
+/// branch-and-bound bound when pruning is enabled.
+struct PipelineHooks<'a> {
+    tx: Option<mpsc::Sender<CostJob>>,
+    prune: Option<PruneCfg>,
+    incumbent: &'a AtomicU64,
+    prepared: &'a Mutex<HashMap<usize, PreparedCost>>,
+    synth: &'a Synthesizer,
+    spec: &'a Spec,
+}
+
+impl SearchHooks for PipelineHooks<'_> {
+    fn on_program(&mut self, index: usize, program: &Expr, depth: u32) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(CostJob {
+                index,
+                program: program.clone(),
+                depth,
+            });
+        }
+    }
+
+    fn should_expand(&mut self, index: usize, program: &Expr, _depth: u32) -> bool {
+        let Some(prune) = self.prune else {
+            return true;
+        };
+        let incumbent = f64::from_bits(self.incumbent.load(Ordering::Relaxed));
+        if !incumbent.is_finite() {
+            return true;
+        }
+        // The bound is computed here (one cost-analysis pass, no ladder)
+        // rather than waiting for the asynchronous cost worker — by the
+        // time the worker gets to this program the frontier has moved on.
+        // The analysis is stashed for that worker so it is not repeated.
+        match self.synth.candidate_problem(self.spec, program) {
+            Ok((problem, report)) => match admissible_lower_bound(&problem) {
+                Ok(lb) => {
+                    let verdict = lb <= prune.slack * incumbent;
+                    self.prepared.lock().unwrap().insert(
+                        index,
+                        PreparedCost {
+                            lower_bound: lb,
+                            problem,
+                            report,
+                        },
+                    );
+                    verdict
+                }
+                Err(_) => true,
+            },
+            // Uncostable programs can't beat the incumbent themselves,
+            // but their descendants might become costable; expand.
+            Err(_) => true,
+        }
+    }
 }
 
 impl Synthesizer {
@@ -93,6 +234,9 @@ impl Synthesizer {
             validate: true,
             exclude_rules: Vec::new(),
             refine_top: 5,
+            search_workers: 0,
+            cost_workers: 0,
+            prune: None,
         }
     }
 
@@ -120,6 +264,19 @@ impl Synthesizer {
         self
     }
 
+    /// Enables branch-and-bound pruning, builder style.
+    pub fn with_prune(mut self, prune: PruneCfg) -> Synthesizer {
+        self.prune = Some(prune);
+        self
+    }
+
+    /// Fixes the worker counts (searching, costing), builder style.
+    pub fn with_workers(mut self, search: usize, cost: usize) -> Synthesizer {
+        self.search_workers = search;
+        self.cost_workers = cost;
+        self
+    }
+
     fn rules(&self) -> Vec<Box<dyn Rule>> {
         default_rules()
             .into_iter()
@@ -127,14 +284,12 @@ impl Synthesizer {
             .collect()
     }
 
-    /// Costs one program and tunes its parameters (cheap ladder screening).
-    fn cost_candidate(
+    /// Cost-analyzes one program into an optimization problem.
+    fn candidate_problem(
         &self,
         spec: &Spec,
         program: &Expr,
-        depth: u32,
-        refine: bool,
-    ) -> Result<Candidate, CostError> {
+    ) -> Result<(Problem, CostReport), CostError> {
         let engine = CostEngine::new(
             &self.hierarchy,
             &self.layout,
@@ -157,6 +312,19 @@ impl Synthesizer {
                 .collect(),
             fixed: spec.stats.clone(),
         };
+        Ok((problem, report))
+    }
+
+    /// Costs one program and tunes its parameters (cheap ladder screening,
+    /// optionally refined with the full pattern search).
+    fn cost_candidate(
+        &self,
+        spec: &Spec,
+        program: &Expr,
+        depth: u32,
+        refine: bool,
+    ) -> Result<Candidate, CostError> {
+        let (problem, report) = self.candidate_problem(spec, program)?;
         let tuned: Optimum = if refine {
             optimize(&problem)
                 .or_else(|_| ladder_search(&problem))
@@ -188,25 +356,120 @@ impl Synthesizer {
             max_depth: self.max_depth,
             max_programs: self.max_programs,
             validation,
+            workers: self.search_workers,
         };
-        let result = search(
-            &spec.program,
-            &spec.env,
-            &self.hierarchy,
-            &self.layout.inputs,
-            self.layout.output.clone(),
-            &self.rules(),
-            &cfg,
-        )
+        let rules = self.rules();
+
+        let incumbent = AtomicU64::new(f64::INFINITY.to_bits());
+        if self.prune.is_some() {
+            // Seed the incumbent with the spec's own tuned cost so the
+            // bound has something to prune against from the start.
+            if let Ok(c) = self.cost_candidate(spec, &spec.program, 0, false) {
+                fetch_min(&incumbent, c.seconds);
+            }
+        }
+
+        let (tx, rx) = mpsc::channel::<CostJob>();
+        let rx = Mutex::new(rx);
+        let results: Mutex<Vec<CostOut>> = Mutex::new(Vec::new());
+        let prepared: Mutex<HashMap<usize, PreparedCost>> = Mutex::new(HashMap::new());
+        let cost_workers = if self.cost_workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.cost_workers
+        };
+
+        let search_result = std::thread::scope(|s| {
+            for _ in 0..cost_workers {
+                s.spawn(|| loop {
+                    let job = match rx.lock().unwrap().recv() {
+                        Ok(job) => job,
+                        Err(_) => break,
+                    };
+                    // Reuse the analysis the prune hook already did for
+                    // this program, if any (bound included).
+                    let ready = prepared.lock().unwrap().remove(&job.index);
+                    let analyzed = match ready {
+                        Some(pc) => Ok((pc.problem, pc.report, Some(pc.lower_bound))),
+                        None => self
+                            .candidate_problem(spec, &job.program)
+                            .map(|(problem, report)| (problem, report, None)),
+                    };
+                    let out = match analyzed {
+                        Err(_) => CostOut::Uncosted(job.index),
+                        Ok((problem, report, bound)) => {
+                            let screened = self.prune.is_some_and(|p| {
+                                let inc = f64::from_bits(incumbent.load(Ordering::Relaxed));
+                                inc.is_finite()
+                                    && bound
+                                        .map(Ok)
+                                        .unwrap_or_else(|| admissible_lower_bound(&problem))
+                                        .is_ok_and(|lb| lb > p.slack * inc)
+                            });
+                            if screened {
+                                CostOut::Screened(job.index)
+                            } else {
+                                match ladder_search(&problem) {
+                                    Err(_) => CostOut::Uncosted(job.index),
+                                    Ok(tuned) => {
+                                        fetch_min(&incumbent, tuned.objective);
+                                        CostOut::Costed(
+                                            job.index,
+                                            Box::new(Candidate {
+                                                program: job.program.clone(),
+                                                depth: job.depth,
+                                                params: tuned.values,
+                                                seconds: tuned.objective,
+                                                formula: report.seconds,
+                                            }),
+                                        )
+                                    }
+                                }
+                            }
+                        }
+                    };
+                    results.lock().unwrap().push(out);
+                });
+            }
+            let mut hooks = PipelineHooks {
+                tx: Some(tx),
+                prune: self.prune,
+                incumbent: &incumbent,
+                prepared: &prepared,
+                synth: self,
+                spec,
+            };
+            let result = search_with(
+                &spec.program,
+                &spec.env,
+                &self.hierarchy,
+                &self.layout.inputs,
+                self.layout.output.clone(),
+                &rules,
+                &cfg,
+                &mut hooks,
+            );
+            // Close the channel so the workers drain the queue and exit;
+            // the scope joins them before returning.
+            hooks.tx.take();
+            result
+        })
         .map_err(SynthError::Type)?;
 
-        // Screen every program with the ladder optimizer.
+        // Deterministic merge: results keyed by program index, exactly the
+        // order the old post-hoc costing pass produced.
+        let mut outs = results.into_inner().unwrap();
+        outs.sort_unstable_by_key(|o| match o {
+            CostOut::Costed(i, _) | CostOut::Uncosted(i) | CostOut::Screened(i) => *i,
+        });
         let mut costed: Vec<Candidate> = Vec::new();
         let mut uncosted = 0usize;
-        for (program, depth) in &result.programs {
-            match self.cost_candidate(spec, program, *depth, false) {
-                Ok(c) => costed.push(c),
-                Err(_) => uncosted += 1,
+        let mut screened = 0usize;
+        for out in outs {
+            match out {
+                CostOut::Costed(_, c) => costed.push(*c),
+                CostOut::Uncosted(_) => uncosted += 1,
+                CostOut::Screened(_) => screened += 1,
             }
         }
         if costed.is_empty() {
@@ -231,9 +494,10 @@ impl Synthesizer {
         Ok(Synthesis {
             best,
             spec: spec_candidate,
-            stats: result.stats,
+            stats: search_result.stats,
             costed: costed.len(),
             uncosted,
+            screened,
         })
     }
 }
