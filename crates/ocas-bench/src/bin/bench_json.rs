@@ -26,15 +26,19 @@
 //! The synthesis-search section (arena/parallel engine vs the legacy
 //! reference engine on the two largest-search Table 1 rows) always runs —
 //! it takes seconds and its statistics are deterministic, so the smoke
-//! job's `--check` gates them exactly.
+//! job's `--check` gates them exactly. So does the `faithful_scale`
+//! section (streamed-generator twin runs past the RAM device): its row
+//! counts, sizes and emission digests are deterministic and gated
+//! exactly, and the binary fails outright if a twin diverges or a peak
+//! exceeds the RAM device.
 //!
 //! `--real-only` is the mode CI's smoke job affords (seconds); the full
 //! document is regenerated manually per trajectory point.
 
 use ocas_bench::json::Json;
 use ocas_bench::report::{
-    bench_doc, check_regressions, engine_throughput, real_workloads, synthesis_stats,
-    validate_bench_doc,
+    bench_doc, check_regressions, engine_throughput, faithful_scale_rows, real_workloads,
+    synthesis_stats, validate_bench_doc,
 };
 
 fn main() {
@@ -139,6 +143,30 @@ fn main() {
         }
     };
 
+    eprintln!("running faithful-scale twin workloads (relation > RAM device)…");
+    let faithful = match faithful_scale_rows() {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("faithful-scale workloads FAILED: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut faithful_bad = false;
+    for r in &faithful {
+        eprintln!(
+            "  {:<24} rel={}KiB ram={}KiB peak sim/real={}/{}KiB rows={} match={} bounded={}",
+            r.name,
+            r.relation_bytes >> 10,
+            r.ram_bytes >> 10,
+            r.sim_peak_resident >> 10,
+            r.real_peak_resident >> 10,
+            r.output_rows,
+            r.outputs_match,
+            r.peak_bounded()
+        );
+        faithful_bad |= !r.outputs_match || !r.peak_bounded();
+    }
+
     eprintln!("running real-I/O workloads (scale {real_scale}, disk_bound {disk_bound})…");
     let real = match real_workloads(real_scale, disk_bound) {
         Ok(rows) => rows,
@@ -171,6 +199,7 @@ fn main() {
         &real,
         &engine,
         &synthesis,
+        &faithful,
         before_doc.as_ref(),
     );
     validate_bench_doc(&doc).expect("generated document must satisfy its own schema");
@@ -178,6 +207,10 @@ fn main() {
     eprintln!("wrote {out_path}");
     if diverged {
         eprintln!("FAIL: a real-I/O run disagreed with the simulator (see match=false above)");
+        std::process::exit(1);
+    }
+    if faithful_bad {
+        eprintln!("FAIL: a faithful-scale twin diverged or exceeded the RAM device (see above)");
         std::process::exit(1);
     }
     if assert_direct && !real.iter().any(|r| r.report.direct_io) {

@@ -6,14 +6,14 @@
 //! seconds side by side.
 
 use crate::json::Json;
-use ocas::experiments::{Fig8Point, Row};
+use ocas::experiments::{FaithfulScaleReport, Fig8Point, Row};
 use ocas_engine::{CpuModel, Executor, JoinPred, MergeKind, Mode, Output, Plan, RelSpec, Relation};
 use ocas_hierarchy::presets;
 use ocas_runtime::{FileBackend, PoolConfig, RealReport, Runtime, RuntimeError};
 use ocas_storage::{StorageBackend, StorageSim};
 
 /// The document's schema tag; bump on breaking layout changes.
-pub const SCHEMA: &str = "ocas-bench/v2";
+pub const SCHEMA: &str = "ocas-bench/v3";
 
 /// One named real-I/O measurement.
 pub struct RealRow {
@@ -260,6 +260,31 @@ pub fn engine_throughput(scale: u64) -> Result<Vec<EngineRow>, RuntimeError> {
     Ok(out)
 }
 
+/// The faithful-scale twin workloads (relation strictly larger than the
+/// RAM device, streamed generation, digest-compared twins) at the
+/// committed baseline scale.
+pub fn faithful_scale_rows() -> Result<Vec<FaithfulScaleReport>, ocas::experiments::ExpError> {
+    ocas::experiments::faithful_scale(1)
+}
+
+fn faithful_json(r: &FaithfulScaleReport) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(&r.name)),
+        ("relation_bytes", Json::num(r.relation_bytes as f64)),
+        ("ram_bytes", Json::num(r.ram_bytes as f64)),
+        ("output_rows", Json::num(r.output_rows as f64)),
+        // The digest is a full u64: stored as hex text because JSON
+        // numbers (f64) cannot carry 64 bits exactly.
+        ("digest", Json::str(format!("{:016x}", r.output_digest))),
+        ("outputs_match", Json::Bool(r.outputs_match)),
+        ("peak_bounded", Json::Bool(r.peak_bounded())),
+        ("sim_peak_resident", Json::num(r.sim_peak_resident as f64)),
+        ("real_peak_resident", Json::num(r.real_peak_resident as f64)),
+        ("sim_seconds", Json::num(r.sim_seconds)),
+        ("wall_seconds", Json::num(r.wall_seconds)),
+    ])
+}
+
 /// One synthesis-search benchmark entry: the arena/parallel engine vs the
 /// legacy reference engine on one Table 1 row's exact search settings.
 #[derive(Debug, Clone)]
@@ -406,6 +431,7 @@ fn engine_before(doc: &Json, template: &str, backend: &str) -> Option<f64> {
 /// Assembles the full document. `engine_baseline` is an earlier document
 /// whose `engine` section provides the before-numbers of the trajectory
 /// (each entry then carries `before_rows_per_sec` and `speedup`).
+#[allow(clippy::too_many_arguments)]
 pub fn bench_doc(
     table1: &[Row],
     figure8: &[Fig8Point],
@@ -413,6 +439,7 @@ pub fn bench_doc(
     real: &[RealRow],
     engine: &[EngineRow],
     synthesis: &[SynthesisRow],
+    faithful: &[FaithfulScaleReport],
     engine_baseline: Option<&Json>,
 ) -> Json {
     let engine_entries: Vec<Json> = engine
@@ -435,6 +462,10 @@ pub fn bench_doc(
             "synthesis",
             Json::Arr(synthesis.iter().map(synthesis_json).collect()),
         ),
+        (
+            "faithful_scale",
+            Json::Arr(faithful.iter().map(faithful_json).collect()),
+        ),
         ("real", Json::Arr(real.iter().map(real_json).collect())),
     ];
     if let Some((untiled, tiled)) = cache_misses {
@@ -452,7 +483,7 @@ pub fn bench_doc(
     Json::obj(pairs)
 }
 
-/// Checks a document against the `ocas-bench/v2` schema. Sections may be
+/// Checks a document against the `ocas-bench/v3` schema. Sections may be
 /// empty arrays (a partial regeneration) but must be present and
 /// well-typed; every `real` entry must carry both clocks.
 pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
@@ -463,7 +494,7 @@ pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
     if schema != SCHEMA {
         return Err(format!("schema `{schema}` is not `{SCHEMA}`"));
     }
-    let sections: [(&str, &[&str]); 5] = [
+    let sections: [(&str, &[&str]); 6] = [
         (
             "table1",
             &[
@@ -504,6 +535,21 @@ pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
             ],
         ),
         (
+            "faithful_scale",
+            &[
+                "name",
+                "relation_bytes",
+                "ram_bytes",
+                "output_rows",
+                "digest",
+                "outputs_match",
+                "peak_bounded",
+                "sim_peak_resident",
+                "real_peak_resident",
+                "wall_seconds",
+            ],
+        ),
+        (
             "real",
             &[
                 "name",
@@ -528,10 +574,9 @@ pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
                     .get(field)
                     .ok_or_else(|| format!("{section}[{i}] missing `{field}`"))?;
                 let ok = match *field {
-                    "name" | "panel" | "label" | "best_program" | "template" | "backend" => {
-                        v.as_str().is_some()
-                    }
-                    "outputs_match" => matches!(v, Json::Bool(_)),
+                    "name" | "panel" | "label" | "best_program" | "template" | "backend"
+                    | "digest" => v.as_str().is_some(),
+                    "outputs_match" | "peak_bounded" => matches!(v, Json::Bool(_)),
                     _ => v.as_num().is_some(),
                 };
                 if !ok {
@@ -609,6 +654,55 @@ pub fn check_regressions(
         if wall > tol * base_wall {
             failures.push(format!(
                 "real `{name}`: wall_seconds {wall:.4} > {tol}x baseline {base_wall:.4}"
+            ));
+        }
+    }
+
+    for entry in arr(doc, "faithful_scale") {
+        let name = entry
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let Some(base) = arr(baseline, "faithful_scale")
+            .into_iter()
+            .find(|b| b.get("name").and_then(Json::as_str) == Some(&name))
+        else {
+            continue;
+        };
+        compared += 1;
+        let num = |e: &Json, f: &str| e.get(f).and_then(Json::as_num).unwrap_or(f64::NAN);
+        // Same seeds, same plans: sizes, rows and the emission digest are
+        // deterministic — compare exactly. The digest is the *only*
+        // output witness at this scale (collection is off), so drift here
+        // means the streamed generator or an operator changed data.
+        for field in ["relation_bytes", "ram_bytes", "output_rows"] {
+            let (got, want) = (num(&entry, field), num(&base, field));
+            if got != want {
+                failures.push(format!(
+                    "faithful_scale `{name}`: {field} {got} != baseline {want}"
+                ));
+            }
+        }
+        let digest = |e: &Json| e.get("digest").and_then(Json::as_str).map(str::to_string);
+        if digest(&entry) != digest(&base) {
+            failures.push(format!(
+                "faithful_scale `{name}`: digest {:?} != baseline {:?}",
+                digest(&entry),
+                digest(&base)
+            ));
+        }
+        // The twins must agree and the peaks must stay below the RAM
+        // device — these are the claims, not measurements.
+        for flag in ["outputs_match", "peak_bounded"] {
+            if entry.get(flag) != Some(&Json::Bool(true)) {
+                failures.push(format!("faithful_scale `{name}`: {flag} is not true"));
+            }
+        }
+        let (wall, base_wall) = (num(&entry, "wall_seconds"), num(&base, "wall_seconds"));
+        if wall > tol * base_wall {
+            failures.push(format!(
+                "faithful_scale `{name}`: wall_seconds {wall:.4} > {tol}x baseline {base_wall:.4}"
             ));
         }
     }

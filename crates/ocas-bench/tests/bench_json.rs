@@ -7,8 +7,8 @@
 
 use ocas_bench::json::Json;
 use ocas_bench::report::{
-    bench_doc, check_regressions, engine_throughput, real_workloads, synthesis_stats,
-    validate_bench_doc, SCHEMA,
+    bench_doc, check_regressions, engine_throughput, faithful_scale_rows, real_workloads,
+    synthesis_stats, validate_bench_doc, SCHEMA,
 };
 
 #[test]
@@ -24,12 +24,66 @@ fn fresh_real_document_validates() {
         assert!(r.report.wall_seconds > 0.0);
         assert!(r.report.sim_seconds > 0.0);
     }
-    let doc = bench_doc(&[], &[], None, &real, &[], &[], None);
+    let doc = bench_doc(&[], &[], None, &real, &[], &[], &[], None);
     validate_bench_doc(&doc).expect("schema");
     // And it survives a serialization round trip.
     let back = Json::parse(&doc.pretty()).expect("parse back");
     validate_bench_doc(&back).expect("schema after round trip");
     assert_eq!(back.get("schema").unwrap().as_str(), Some(SCHEMA));
+}
+
+#[test]
+fn fresh_faithful_scale_section_validates_and_twins_agree() {
+    let faithful = faithful_scale_rows().expect("faithful-scale workloads");
+    assert_eq!(faithful.len(), 3);
+    for r in &faithful {
+        assert!(r.relation_bytes > r.ram_bytes, "{}: not past RAM", r.name);
+        assert!(r.outputs_match, "{}: twins diverged", r.name);
+        assert!(r.peak_bounded(), "{}: peak not bounded", r.name);
+    }
+    let doc = bench_doc(&[], &[], None, &[], &[], &[], &faithful, None);
+    validate_bench_doc(&doc).expect("schema");
+    // Digest survives the JSON round trip as text.
+    let back = Json::parse(&doc.pretty()).expect("parse back");
+    let entries = back.get("faithful_scale").unwrap().as_arr().unwrap();
+    assert_eq!(
+        entries[0].get("digest").and_then(Json::as_str).unwrap(),
+        format!("{:016x}", faithful[0].output_digest)
+    );
+}
+
+fn faithful_fixture(rows: u64, digest: &str, bounded: bool, wall: f64) -> Json {
+    Json::parse(&format!(
+        r#"{{"schema": "ocas-bench/v3", "table1": [], "figure8": [], "engine": [],
+            "figures": {{"paper_platform_devices": []}}, "synthesis": [], "real": [],
+            "faithful_scale": [{{"name": "w", "relation_bytes": 2097152,
+                "ram_bytes": 1048576, "output_rows": {rows}, "digest": "{digest}",
+                "outputs_match": true, "peak_bounded": {bounded},
+                "sim_peak_resident": 200000, "real_peak_resident": 200000,
+                "sim_seconds": 1.0, "wall_seconds": {wall}}}]}}"#
+    ))
+    .unwrap()
+}
+
+#[test]
+fn regression_checker_pins_faithful_scale_determinism() {
+    let baseline = faithful_fixture(1000, "00000000deadbeef", true, 0.1);
+    assert_eq!(check_regressions(&baseline, &baseline, 25.0), Ok(1));
+    // Row-count or digest drift is a data change: exact failure.
+    let drifted_rows = faithful_fixture(1001, "00000000deadbeef", true, 0.1);
+    let errs = check_regressions(&drifted_rows, &baseline, 25.0).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("output_rows")), "{errs:?}");
+    let drifted_digest = faithful_fixture(1000, "00000000deadbeee", true, 0.1);
+    let errs = check_regressions(&drifted_digest, &baseline, 25.0).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("digest")), "{errs:?}");
+    // A peak past the RAM device fails regardless of the baseline.
+    let unbounded = faithful_fixture(1000, "00000000deadbeef", false, 0.1);
+    let errs = check_regressions(&unbounded, &baseline, 25.0).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("peak_bounded")), "{errs:?}");
+    // Wall-clock gets the usual generous tolerance.
+    let slow = faithful_fixture(1000, "00000000deadbeef", true, 99.0);
+    let errs = check_regressions(&slow, &baseline, 10.0).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("wall_seconds")), "{errs:?}");
 }
 
 #[test]
@@ -51,6 +105,17 @@ fn committed_trajectory_point_validates() {
     }
     // And the full table (16 rows) from the committed regeneration.
     assert_eq!(doc.get("table1").unwrap().as_arr().unwrap().len(), 16);
+    // The faithful-scale section records the streamed-generator claim:
+    // relation past the RAM device, twins agreeing, peaks bounded.
+    let faithful = doc.get("faithful_scale").unwrap().as_arr().unwrap();
+    assert_eq!(faithful.len(), 3, "three faithful-scale twin workloads");
+    for entry in faithful {
+        assert_eq!(entry.get("outputs_match"), Some(&Json::Bool(true)));
+        assert_eq!(entry.get("peak_bounded"), Some(&Json::Bool(true)));
+        let rel = entry.get("relation_bytes").and_then(Json::as_num).unwrap();
+        let ram = entry.get("ram_bytes").and_then(Json::as_num).unwrap();
+        assert!(rel > ram, "recorded relation must exceed the RAM device");
+    }
     // The engine section records the flat-batch before/after trajectory:
     // every entry carries a before-number, and the refactor's headline
     // claim (≥2x on the sort and join data paths) is pinned to the
@@ -97,23 +162,23 @@ fn validator_rejects_malformed_documents() {
     let bad = Json::obj(vec![("schema", Json::str("something/else"))]);
     assert!(validate_bench_doc(&bad).is_err());
     let missing_field = Json::parse(
-        r#"{"schema": "ocas-bench/v2", "table1": [], "figure8": [], "engine": [],
+        r#"{"schema": "ocas-bench/v3", "table1": [], "figure8": [], "engine": [],
             "figures": {"paper_platform_devices": []}, "synthesis": [],
-            "real": [{"name": "x"}]}"#,
+            "faithful_scale": [], "real": [{"name": "x"}]}"#,
     )
     .unwrap();
     let err = validate_bench_doc(&missing_field).unwrap_err();
     assert!(err.contains("real[0]"), "{err}");
     let missing_engine = Json::parse(
-        r#"{"schema": "ocas-bench/v2", "table1": [], "figure8": [],
-            "figures": {"paper_platform_devices": []}, "synthesis": [], "real": []}"#,
+        r#"{"schema": "ocas-bench/v3", "table1": [], "figure8": [],
+            "figures": {"paper_platform_devices": []}, "synthesis": [], "faithful_scale": [], "real": []}"#,
     )
     .unwrap();
     let err = validate_bench_doc(&missing_engine).unwrap_err();
     assert!(err.contains("engine"), "{err}");
     let missing_synthesis = Json::parse(
-        r#"{"schema": "ocas-bench/v2", "table1": [], "figure8": [], "engine": [],
-            "figures": {"paper_platform_devices": []}, "real": []}"#,
+        r#"{"schema": "ocas-bench/v3", "table1": [], "figure8": [], "engine": [],
+            "figures": {"paper_platform_devices": []}, "faithful_scale": [], "real": []}"#,
     )
     .unwrap();
     let err = validate_bench_doc(&missing_synthesis).unwrap_err();
@@ -151,12 +216,12 @@ fn engine_throughput_covers_every_template_on_both_backends() {
 
 fn check_fixture_scaled(wall: f64, bytes: f64, rps: f64, scale: u64) -> Json {
     Json::parse(&format!(
-        r#"{{"schema": "ocas-bench/v2", "table1": [], "figure8": [],
+        r#"{{"schema": "ocas-bench/v3", "table1": [], "figure8": [],
             "figures": {{"paper_platform_devices": []}},
             "engine": [{{"template": "external-sort", "backend": "sim",
                         "rows_in": 1000, "rows_out": 1000, "seconds": 1.0,
                         "rows_per_sec": {rps}}}],
-            "synthesis": [],
+            "synthesis": [], "faithful_scale": [],
             "real": [{{"name": "w", "scale": {scale}, "wall_seconds": {wall},
                       "io_seconds": 0.1, "sim_seconds": 1.0, "output_rows": 10,
                       "outputs_match": true,
@@ -167,8 +232,8 @@ fn check_fixture_scaled(wall: f64, bytes: f64, rps: f64, scale: u64) -> Json {
 
 fn synthesis_fixture(explored: u64, seconds: f64, speedup: f64) -> Json {
     Json::parse(&format!(
-        r#"{{"schema": "ocas-bench/v2", "table1": [], "figure8": [], "engine": [],
-            "figures": {{"paper_platform_devices": []}}, "real": [],
+        r#"{{"schema": "ocas-bench/v3", "table1": [], "figure8": [], "engine": [],
+            "figures": {{"paper_platform_devices": []}}, "real": [], "faithful_scale": [],
             "synthesis": [{{"name": "BNL - No writeout", "explored": {explored},
                            "generated": 3000, "rejected_type": 0,
                            "rejected_semantics": 5, "depth_reached": 5,
@@ -209,8 +274,8 @@ fn regression_checker_accepts_within_tolerance_and_rejects_beyond() {
     assert_eq!(check_regressions(&scaled, &baseline, 10.0), Ok(1));
     // Unmatched names are skipped, not failed.
     let empty = Json::parse(
-        r#"{"schema": "ocas-bench/v2", "table1": [], "figure8": [], "engine": [],
-            "figures": {"paper_platform_devices": []}, "synthesis": [], "real": []}"#,
+        r#"{"schema": "ocas-bench/v3", "table1": [], "figure8": [], "engine": [],
+            "figures": {"paper_platform_devices": []}, "synthesis": [], "faithful_scale": [], "real": []}"#,
     )
     .unwrap();
     assert_eq!(check_regressions(&baseline, &empty, 25.0), Ok(0));
@@ -243,6 +308,6 @@ fn fresh_synthesis_section_validates_and_engines_agree() {
         assert!(s.seconds > 0.0 && s.reference_seconds > 0.0, "{s:?}");
         assert!(s.arena_nodes > 0, "{s:?}");
     }
-    let doc = bench_doc(&[], &[], None, &[], &[], &synthesis, None);
+    let doc = bench_doc(&[], &[], None, &[], &[], &synthesis, &[], None);
     validate_bench_doc(&doc).expect("schema");
 }

@@ -59,8 +59,20 @@ pub struct ExecStats {
     pub output_rows: u64,
     /// Tuple comparisons performed/modeled.
     pub compares: u64,
-    /// Output rows materialized in faithful mode, one flat batch.
+    /// Output rows materialized in faithful mode, one flat batch (`None`
+    /// in simulated mode or when the executor's output collection is
+    /// switched off for larger-than-RAM faithful runs).
     pub output: Option<RowBuf>,
+    /// FNV-1a digest over every emitted row's column values, in emission
+    /// order (`Some` in faithful mode). Lets two faithful twins —
+    /// simulator and real backend — be compared without materializing
+    /// either output.
+    pub output_digest: Option<u64>,
+    /// High-water mark of resident tuple bytes the faithful data path
+    /// held during this run: relation cache windows (or the whole batch
+    /// for legacy materialized relations), sort-emitter state, and the
+    /// sink's staging/collected rows. 0 in simulated mode.
+    pub peak_resident_bytes: u64,
     /// Cache statistics, when a cache simulator was attached.
     pub cache: Option<CacheStats>,
 }
@@ -78,6 +90,28 @@ pub struct Executor<B: StorageBackend = StorageSim> {
     pub cpu: CpuModel,
     /// Optional CPU-cache simulator for the in-memory loops.
     pub cache: Option<CacheSim>,
+    /// Whether faithful runs collect emitted rows into
+    /// [`ExecStats::output`]. Defaults to true; switch off for
+    /// faithful-scale runs whose output would not fit in memory (the
+    /// [`ExecStats::output_digest`] still allows twin comparisons).
+    pub collect_output: bool,
+    /// High-water mark of resident tuple bytes, updated by the faithful
+    /// operator loops (reset per run).
+    peak_resident: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// Folds row-major column values into a running FNV-1a digest.
+fn fnv_values(mut h: u64, values: &[i64]) -> u64 {
+    for v in values {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
 }
 
 /// Buffered output sink. Each flush allocates a fresh extent right after
@@ -94,7 +128,12 @@ struct Sink {
     tuple_bytes: u64,
     pending: u64,
     rows: u64,
+    /// True for faithful runs: real payload bytes are encoded for device
+    /// outputs and every emitted row folds into `digest`.
+    faithful: bool,
     collected: Option<RowBuf>,
+    /// Running FNV-1a digest over emitted rows (faithful mode).
+    digest: u64,
     /// `Some(col_bytes)` when every column encodes as the same number of
     /// little-endian bytes (`tuple_bytes / columns`); `None` falls back to
     /// padding/trimming full 8-byte columns to the declared tuple size.
@@ -113,7 +152,13 @@ struct Sink {
 const SINK_EXTENT: u64 = 1 << 30;
 
 impl Sink {
-    fn new(output: &Output, tuple_bytes: u64, out_cols: usize, faithful: bool) -> Sink {
+    fn new(
+        output: &Output,
+        tuple_bytes: u64,
+        out_cols: usize,
+        faithful: bool,
+        collect: bool,
+    ) -> Sink {
         let want = tuple_bytes.max(1) as usize;
         let ncols = out_cols.max(1);
         let codec = if want % ncols == 0 && (1..=8).contains(&(want / ncols)) {
@@ -126,7 +171,9 @@ impl Sink {
             tuple_bytes: tuple_bytes.max(1),
             pending: 0,
             rows: 0,
-            collected: faithful.then(|| RowBuf::new(ncols)),
+            faithful,
+            collected: (faithful && collect).then(|| RowBuf::new(ncols)),
+            digest: FNV_OFFSET,
             codec,
             encoded: Vec::new(),
             extent: None,
@@ -135,7 +182,17 @@ impl Sink {
     }
 
     fn encoding(&self) -> bool {
-        matches!(self.output, Output::ToDevice { .. }) && self.collected.is_some()
+        matches!(self.output, Output::ToDevice { .. }) && self.faithful
+    }
+
+    /// Resident staging bytes: encoded-but-unflushed payload plus (when
+    /// output collection is on) the collected rows.
+    fn resident_bytes(&self) -> u64 {
+        let collected = self
+            .collected
+            .as_ref()
+            .map_or(0, |c| (c.len() * c.width()) as u64 * 8);
+        self.encoded.len() as u64 + collected
     }
 
     /// Encodes the columns of one row in the on-disk tuple format
@@ -177,6 +234,9 @@ impl Sink {
         if self.encoding() {
             self.encode_cols(row.iter());
         }
+        if self.faithful {
+            self.digest = fnv_values(self.digest, row);
+        }
         if let Some(c) = &mut self.collected {
             c.push(row);
         }
@@ -193,6 +253,9 @@ impl Sink {
         if self.encoding() {
             self.encode_cols(a.iter().chain(b.iter()));
         }
+        if self.faithful {
+            self.digest = fnv_values(fnv_values(self.digest, a), b);
+        }
         if let Some(c) = &mut self.collected {
             c.push_concat(a, b);
         }
@@ -207,6 +270,9 @@ impl Sink {
     ) -> Result<(), ExecError> {
         if view.is_empty() {
             return Ok(());
+        }
+        if self.faithful {
+            self.digest = fnv_values(self.digest, view.as_slice());
         }
         if self.encoding() {
             match self.codec {
@@ -282,12 +348,17 @@ impl Sink {
         Ok(())
     }
 
-    fn finish<B: StorageBackend>(mut self, sm: &mut B) -> Result<(u64, Option<RowBuf>), ExecError> {
+    fn finish<B: StorageBackend>(mut self, sm: &mut B) -> Result<OpResult, ExecError> {
         let pending = self.pending;
         self.flush_bytes(sm, pending)?;
-        Ok((self.rows, self.collected))
+        let digest = self.faithful.then_some(self.digest);
+        Ok((self.rows, self.collected, digest))
     }
 }
+
+/// What one operator produced: emitted rows, the collected batch (when
+/// faithful collection is on) and the emission digest (faithful mode).
+type OpResult = (u64, Option<RowBuf>, Option<u64>);
 
 impl<B: StorageBackend> Executor<B> {
     /// Builds an executor over any storage backend.
@@ -298,6 +369,8 @@ impl<B: StorageBackend> Executor<B> {
             mode,
             cpu,
             cache: None,
+            collect_output: true,
+            peak_resident: 0,
         }
     }
 
@@ -305,6 +378,31 @@ impl<B: StorageBackend> Executor<B> {
     pub fn with_cache(mut self, cache: CacheSim) -> Executor<B> {
         self.cache = Some(cache);
         self
+    }
+
+    /// Switches faithful output collection on/off, builder-style (off =
+    /// larger-than-RAM faithful runs compare via
+    /// [`ExecStats::output_digest`] instead).
+    pub fn with_output_collection(mut self, collect: bool) -> Executor<B> {
+        self.collect_output = collect;
+        self
+    }
+
+    /// Records an observation of currently resident faithful tuple bytes.
+    fn note_peak(&mut self, bytes: u64) {
+        self.peak_resident = self.peak_resident.max(bytes);
+    }
+
+    /// The sink for one operator under the executor's mode and collection
+    /// policy.
+    fn sink(&self, output: &Output, tuple_bytes: u64, out_cols: usize) -> Sink {
+        Sink::new(
+            output,
+            tuple_bytes,
+            out_cols,
+            self.faithful(),
+            self.collect_output,
+        )
     }
 
     /// Registers a relation, returning its plan index.
@@ -333,8 +431,9 @@ impl<B: StorageBackend> Executor<B> {
     /// Runs a plan to completion.
     pub fn run(&mut self, plan: &Plan) -> Result<ExecStats, ExecError> {
         let t0 = self.sm.clock();
+        self.peak_resident = 0;
         let mut compares: u64 = 0;
-        let (rows, output) = match plan {
+        let (rows, output, digest) = match plan {
             Plan::BnlJoin {
                 outer,
                 inner,
@@ -429,6 +528,8 @@ impl<B: StorageBackend> Executor<B> {
             output_rows: rows,
             compares,
             output,
+            output_digest: digest,
+            peak_resident_bytes: self.peak_resident,
             cache: self.cache.as_ref().map(|c| c.stats()),
         })
     }
@@ -445,7 +546,7 @@ impl<B: StorageBackend> Executor<B> {
         order_inputs: bool,
         output: &Output,
         compares: &mut u64,
-    ) -> Result<(u64, Option<RowBuf>), ExecError> {
+    ) -> Result<OpResult, ExecError> {
         if k1 == 0 || k2 == 0 {
             return Err(ExecError::BadParameter("zero block size"));
         }
@@ -454,11 +555,12 @@ impl<B: StorageBackend> Executor<B> {
         } else {
             (outer, inner)
         };
-        let o = self.rel(oi)?.clone();
-        let i = self.rel(ii)?.clone();
+        let mut o = self.rel(oi)?.clone();
+        let mut i = self.rel(ii)?.clone();
+        let (otb, itb) = (o.tuple_bytes, i.tuple_bytes);
         let out_width = o.tuple_bytes + i.tuple_bytes;
         let out_cols = (o.width + i.width) as usize;
-        let mut sink = Sink::new(output, out_width, out_cols, self.faithful());
+        let mut sink = self.sink(output, out_width, out_cols);
         // Expected match density for simulated mode.
         let density = match pred {
             JoinPred::Cross => 1.0,
@@ -487,8 +589,10 @@ impl<B: StorageBackend> Executor<B> {
                     let orows = o.block_rows(oidx, on);
                     let irows = i.block_rows(iidx, in_n);
                     self.join_tile(
-                        orows, irows, oidx, iidx, &o, &i, tiling, pred, &mut sink, &mut emits,
+                        orows, irows, oidx, iidx, otb, itb, tiling, pred, &mut sink, &mut emits,
                     )?;
+                    let res = o.resident_bytes() + i.resident_bytes() + sink.resident_bytes();
+                    self.note_peak(res);
                 } else {
                     let expected = on as f64 * in_n as f64 * density + carry;
                     let whole = expected.floor() as u64;
@@ -502,8 +606,7 @@ impl<B: StorageBackend> Executor<B> {
         }
         let _ = hashes;
         self.charge_cpu(*compares, emits, 0);
-        let (rows, collected) = sink.finish(&mut self.sm)?;
-        Ok((rows, collected))
+        sink.finish(&mut self.sm)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -513,8 +616,8 @@ impl<B: StorageBackend> Executor<B> {
         irows: RowsView<'_>,
         obase: u64,
         ibase: u64,
-        orel: &Relation,
-        irel: &Relation,
+        otb: u64,
+        itb: u64,
         tiling: Option<crate::plan::Tiling>,
         pred: JoinPred,
         sink: &mut Sink,
@@ -522,8 +625,8 @@ impl<B: StorageBackend> Executor<B> {
     ) -> Result<(), ExecError> {
         // Virtual addresses for cache accounting: each relation gets its own
         // region; in-RAM block bases reflect the on-disk tuple positions.
-        let oaddr = |idx: usize| (1u64 << 42) + (obase + idx as u64) * orel.tuple_bytes;
-        let iaddr = |idx: usize| (2u64 << 42) + (ibase + idx as u64) * irel.tuple_bytes;
+        let oaddr = |idx: usize| (1u64 << 42) + (obase + idx as u64) * otb;
+        let iaddr = |idx: usize| (2u64 << 42) + (ibase + idx as u64) * itb;
         let (to, ti) = match tiling {
             Some(t) => (t.outer.max(1) as usize, t.inner.max(1) as usize),
             None => (orows.len().max(1), irows.len().max(1)),
@@ -546,8 +649,8 @@ impl<B: StorageBackend> Executor<B> {
                 let isub = &irows.as_slice()[ib * iw..iend * iw];
                 for (i, x) in osub.chunks_exact(ow).enumerate() {
                     if let Some(c) = &mut self.cache {
-                        c.access(oaddr(ob + i), orel.tuple_bytes);
-                        c.access_tuples(iaddr(ib), irel.tuple_bytes, (iend - ib) as u64);
+                        c.access(oaddr(ob + i), otb);
+                        c.access_tuples(iaddr(ib), itb, (iend - ib) as u64);
                     }
                     match pred {
                         JoinPred::Cross => {
@@ -585,29 +688,30 @@ impl<B: StorageBackend> Executor<B> {
         pred: JoinPred,
         output: &Output,
         compares: &mut u64,
-    ) -> Result<(u64, Option<RowBuf>), ExecError> {
+    ) -> Result<OpResult, ExecError> {
         if partitions == 0 {
             return Err(ExecError::BadParameter("zero partitions"));
         }
-        let l = self.rel(left)?.clone();
-        let r = self.rel(right)?.clone();
+        let mut l = self.rel(left)?.clone();
+        let mut r = self.rel(right)?.clone();
         let out_width = l.tuple_bytes + r.tuple_bytes;
         let out_cols = (l.width + r.width) as usize;
-        let mut sink = Sink::new(output, out_width, out_cols, self.faithful());
+        let mut sink = self.sink(output, out_width, out_cols);
         let mut emits = 0u64;
         let mut hashes = 0u64;
 
         // Partition pass: stream each relation, hash rows into flat bucket
         // batches, spill bucket buffers as they fill.
         let spill_partition = |this: &mut Executor<B>,
-                               rel: &Relation,
+                               rel: &mut Relation,
                                hashes: &mut u64|
          -> Result<Vec<RowBuf>, ExecError> {
             let width = rel.width.max(1) as usize;
+            let tb = rel.tuple_bytes;
             let mut buckets: Vec<RowBuf> = vec![RowBuf::new(width); partitions as usize];
             let mut bucket_fill: Vec<u64> = vec![0; partitions as usize];
-            let per_bucket_buf = (buffer_bytes / partitions.max(1)).max(rel.tuple_bytes);
-            let block = (buffer_bytes / rel.tuple_bytes).max(1);
+            let per_bucket_buf = (buffer_bytes / partitions.max(1)).max(tb);
+            let block = (buffer_bytes / tb).max(1);
             let mut idx = 0;
             while idx < rel.card {
                 let n = rel.read_block(&mut this.sm, idx, block)?;
@@ -617,7 +721,7 @@ impl<B: StorageBackend> Executor<B> {
                         let key = row.first().copied().unwrap_or(0);
                         let b = (ocal::stable_hash(&ocal::Value::Int(key)) % partitions) as usize;
                         buckets[b].push(row);
-                        bucket_fill[b] += rel.tuple_bytes;
+                        bucket_fill[b] += tb;
                         if bucket_fill[b] >= per_bucket_buf {
                             let f = this.sm.alloc(spill, bucket_fill[b])?;
                             this.sm.write(f, 0, bucket_fill[b])?;
@@ -653,8 +757,19 @@ impl<B: StorageBackend> Executor<B> {
             Ok(buckets)
         };
 
-        let lbuckets = spill_partition(self, &l, &mut hashes)?;
-        let rbuckets = spill_partition(self, &r, &mut hashes)?;
+        let lbuckets = spill_partition(self, &mut l, &mut hashes)?;
+        let rbuckets = spill_partition(self, &mut r, &mut hashes)?;
+        if self.faithful() {
+            // GRACE's faithful join pass holds both bucket tables in
+            // memory (it is exercised at small scale only); account them.
+            let bucket_bytes = |bs: &[RowBuf]| {
+                bs.iter()
+                    .map(|b| (b.len() * b.width()) as u64 * 8)
+                    .sum::<u64>()
+            };
+            let res = bucket_bytes(&lbuckets) + bucket_bytes(&rbuckets);
+            self.note_peak(res);
+        }
 
         // Join pass: read each co-bucket pair back and join in memory.
         let density = match pred {
@@ -727,8 +842,7 @@ impl<B: StorageBackend> Executor<B> {
             }
         }
         self.charge_cpu(*compares, emits, hashes);
-        let (rows, collected) = sink.finish(&mut self.sm)?;
-        Ok((rows, collected))
+        sink.finish(&mut self.sm)
     }
 
     // The parameters mirror Plan::ExternalSort field-for-field; bundling
@@ -743,7 +857,7 @@ impl<B: StorageBackend> Executor<B> {
         scratch: &str,
         output: &Output,
         compares: &mut u64,
-    ) -> Result<(u64, Option<RowBuf>), ExecError> {
+    ) -> Result<OpResult, ExecError> {
         if fan_in < 2 {
             return Err(ExecError::BadParameter("fan-in must be >= 2"));
         }
@@ -805,18 +919,33 @@ impl<B: StorageBackend> Executor<B> {
             first = false;
         }
 
-        // Final output: sort the flat batch in place, emit it whole.
-        let mut sink = Sink::new(output, tb, rel.width.max(1) as usize, self.faithful());
+        // Final output: stream the sorted relation in b_out-tuple blocks.
+        // No whole-relation copy on either path: streamed relations emit
+        // through a sorted twin generator's bounded window; the legacy
+        // materialized oracle sorts an index permutation and gathers per
+        // block (the old `rows.clone()` + in-place sort peaked at 2-3x
+        // the relation size).
+        let mut sink = self.sink(output, tb, rel.width.max(1) as usize);
         if self.faithful() {
-            let mut rows = rel.rows.clone().ok_or(ExecError::MissingRows(input))?;
-            rows.sort();
-            sink.emit_batch(&mut self.sm, rows.as_view())?;
+            let mut emitter = rel.sorted_emitter().ok_or(ExecError::MissingRows(input))?;
+            let mut block = RowBuf::new(rel.width.max(1) as usize);
+            loop {
+                block.clear();
+                if emitter.next_block(b_out, &mut block) == 0 {
+                    break;
+                }
+                sink.emit_batch(&mut self.sm, block.as_view())?;
+                let res = rel.resident_bytes()
+                    + emitter.resident_bytes()
+                    + (block.len() * block.width()) as u64 * 8
+                    + sink.resident_bytes();
+                self.note_peak(res);
+            }
         } else {
             sink.emit_bulk(&mut self.sm, n)?;
         }
         self.charge_cpu(*compares, n, 0);
-        let (rows, collected) = sink.finish(&mut self.sm)?;
-        Ok((rows, collected))
+        sink.finish(&mut self.sm)
     }
 
     fn run_merge(
@@ -827,18 +956,13 @@ impl<B: StorageBackend> Executor<B> {
         b_in: u64,
         output: &Output,
         compares: &mut u64,
-    ) -> Result<(u64, Option<RowBuf>), ExecError> {
+    ) -> Result<OpResult, ExecError> {
         if b_in == 0 {
             return Err(ExecError::BadParameter("zero merge buffer"));
         }
-        let l = self.rel(left)?.clone();
-        let r = self.rel(right)?.clone();
-        let mut sink = Sink::new(
-            output,
-            l.tuple_bytes,
-            l.width.max(1) as usize,
-            self.faithful(),
-        );
+        let mut l = self.rel(left)?.clone();
+        let mut r = self.rel(right)?.clone();
+        let mut sink = self.sink(output, l.tuple_bytes, l.width.max(1) as usize);
 
         // Read both inputs in alternating b_in blocks (streaming merge),
         // emitting output as the stream advances so writes interleave with
@@ -884,15 +1008,114 @@ impl<B: StorageBackend> Executor<B> {
         *compares += l.card + r.card;
 
         if self.faithful() {
-            let a = l.rows.as_ref().ok_or(ExecError::MissingRows(left))?;
-            let b = r.rows.as_ref().ok_or(ExecError::MissingRows(right))?;
-            let merged = merge_bufs(a, b, kind);
-            emits += merged.len() as u64;
-            sink.emit_batch(&mut self.sm, merged.as_view())?;
+            if !l.has_rows() {
+                return Err(ExecError::MissingRows(left));
+            }
+            if !r.has_rows() {
+                return Err(ExecError::MissingRows(right));
+            }
+            // Streaming two-cursor merge over bounded block views — the
+            // same semantics as [`merge_bufs`] (pinned by tests) without
+            // materializing either input or the merged result.
+            let (mut ai, mut bi) = (0u64, 0u64);
+            let mut last: Vec<i64> = Vec::new();
+            let mut have_last = false;
+            let mut ha: Vec<i64> = Vec::new();
+            let mut hb: Vec<i64> = Vec::new();
+            loop {
+                let a_has = ai < l.card;
+                let b_has = bi < r.card;
+                ha.clear();
+                hb.clear();
+                if a_has {
+                    ha.extend_from_slice(l.block_rows(ai, 1).row(0));
+                }
+                if b_has {
+                    hb.extend_from_slice(r.block_rows(bi, 1).row(0));
+                }
+                match kind {
+                    MergeKind::MultisetUnionSorted | MergeKind::SetUnion => {
+                        if !a_has && !b_has {
+                            break;
+                        }
+                        let take_a = !b_has || (a_has && ha.as_slice() <= hb.as_slice());
+                        let row: &[i64] = if take_a { &ha } else { &hb };
+                        if kind == MergeKind::MultisetUnionSorted || !have_last || last != row {
+                            emits += 1;
+                            sink.emit_slice(&mut self.sm, row)?;
+                            if kind == MergeKind::SetUnion {
+                                last.clear();
+                                last.extend_from_slice(row);
+                                have_last = true;
+                            }
+                        }
+                        if take_a {
+                            ai += 1;
+                        } else {
+                            bi += 1;
+                        }
+                    }
+                    MergeKind::MultisetUnionVm => {
+                        if !a_has && !b_has {
+                            break;
+                        }
+                        if a_has && b_has && ha[0] == hb[0] {
+                            emits += 1;
+                            sink.emit_slice(&mut self.sm, &[ha[0], ha[1] + hb[1]])?;
+                            ai += 1;
+                            bi += 1;
+                        } else if a_has && (!b_has || ha[0] < hb[0]) {
+                            emits += 1;
+                            sink.emit_slice(&mut self.sm, &ha)?;
+                            ai += 1;
+                        } else {
+                            emits += 1;
+                            sink.emit_slice(&mut self.sm, &hb)?;
+                            bi += 1;
+                        }
+                    }
+                    MergeKind::MultisetDiffSorted => {
+                        if !a_has {
+                            break;
+                        }
+                        if b_has && hb.as_slice() < ha.as_slice() {
+                            bi += 1;
+                        } else if b_has && hb == ha {
+                            ai += 1;
+                            bi += 1;
+                        } else {
+                            emits += 1;
+                            sink.emit_slice(&mut self.sm, &ha)?;
+                            ai += 1;
+                        }
+                    }
+                    MergeKind::MultisetDiffVm => {
+                        if !a_has {
+                            break;
+                        }
+                        if b_has && hb[0] < ha[0] {
+                            bi += 1;
+                        } else if b_has && hb[0] == ha[0] {
+                            let m = ha[1] - hb[1];
+                            if m > 0 {
+                                emits += 1;
+                                sink.emit_slice(&mut self.sm, &[ha[0], m])?;
+                            }
+                            ai += 1;
+                            bi += 1;
+                        } else {
+                            emits += 1;
+                            sink.emit_slice(&mut self.sm, &ha)?;
+                            ai += 1;
+                        }
+                    }
+                }
+                let res = l.resident_bytes() + r.resident_bytes() + sink.resident_bytes();
+                self.note_peak(res);
+            }
         }
         self.charge_cpu(*compares, emits, 0);
-        let (rows, collected) = sink.finish(&mut self.sm)?;
-        Ok((rows, collected))
+        sink.finish(&mut self.sm)
     }
 
     fn run_columns(
@@ -900,18 +1123,18 @@ impl<B: StorageBackend> Executor<B> {
         columns: &[usize],
         b_in: u64,
         output: &Output,
-    ) -> Result<(u64, Option<RowBuf>), ExecError> {
+    ) -> Result<OpResult, ExecError> {
         if columns.is_empty() || b_in == 0 {
             return Err(ExecError::BadParameter("columns/b_in"));
         }
-        let rels: Vec<Relation> = columns
+        let mut rels: Vec<Relation> = columns
             .iter()
             .map(|c| self.rel(*c).cloned())
             .collect::<Result<_, _>>()?;
         let card = rels.iter().map(|r| r.card).min().unwrap_or(0);
         let out_bytes: u64 = rels.iter().map(|r| r.tuple_bytes).sum();
         let out_cols: usize = rels.iter().map(|r| r.width.max(1) as usize).sum();
-        let mut sink = Sink::new(output, out_bytes, out_cols, self.faithful());
+        let mut sink = self.sink(output, out_bytes, out_cols);
         // One reused scratch row for the zipped tuple (no per-row alloc).
         let mut zipped: Vec<i64> = Vec::with_capacity(out_cols);
         // Round-robin block reads across the columns (seeks between files).
@@ -924,19 +1147,21 @@ impl<B: StorageBackend> Executor<B> {
             if self.faithful() {
                 for off in 0..n {
                     zipped.clear();
-                    for r in &rels {
+                    for r in rels.iter_mut() {
                         zipped.extend_from_slice(r.block_rows(idx + off, 1).row(0));
                     }
                     sink.emit_slice(&mut self.sm, &zipped)?;
                 }
+                let res =
+                    rels.iter().map(Relation::resident_bytes).sum::<u64>() + sink.resident_bytes();
+                self.note_peak(res);
             } else {
                 sink.emit_bulk(&mut self.sm, n)?;
             }
             idx += n.max(1);
         }
         self.charge_cpu(0, card, 0);
-        let (rows, collected) = sink.finish(&mut self.sm)?;
-        Ok((rows, collected))
+        sink.finish(&mut self.sm)
     }
 
     fn run_dedup(
@@ -945,17 +1170,12 @@ impl<B: StorageBackend> Executor<B> {
         b_in: u64,
         output: &Output,
         compares: &mut u64,
-    ) -> Result<(u64, Option<RowBuf>), ExecError> {
+    ) -> Result<OpResult, ExecError> {
         if b_in == 0 {
             return Err(ExecError::BadParameter("zero dedup buffer"));
         }
-        let rel = self.rel(input)?.clone();
-        let mut sink = Sink::new(
-            output,
-            rel.tuple_bytes,
-            rel.width.max(1) as usize,
-            self.faithful(),
-        );
+        let mut rel = self.rel(input)?.clone();
+        let mut sink = self.sink(output, rel.tuple_bytes, rel.width.max(1) as usize);
         let mut idx = 0;
         // The last emitted row, in a reused buffer (no per-row alloc).
         let mut last: Vec<i64> = Vec::new();
@@ -978,6 +1198,8 @@ impl<B: StorageBackend> Executor<B> {
                         have_last = true;
                     }
                 }
+                let res = rel.resident_bytes() + sink.resident_bytes();
+                self.note_peak(res);
             } else {
                 // Modeling assumption: half the sorted input is duplicated;
                 // emit as the stream advances so writes interleave.
@@ -988,8 +1210,7 @@ impl<B: StorageBackend> Executor<B> {
             idx += n.max(1);
         }
         self.charge_cpu(*compares, emitted, 0);
-        let (rows, collected) = sink.finish(&mut self.sm)?;
-        Ok((rows, collected))
+        sink.finish(&mut self.sm)
     }
 
     fn run_aggregate(
@@ -997,11 +1218,11 @@ impl<B: StorageBackend> Executor<B> {
         input: usize,
         b_in: u64,
         compares: &mut u64,
-    ) -> Result<(u64, Option<RowBuf>), ExecError> {
+    ) -> Result<OpResult, ExecError> {
         if b_in == 0 {
             return Err(ExecError::BadParameter("zero aggregate buffer"));
         }
-        let rel = self.rel(input)?.clone();
+        let mut rel = self.rel(input)?.clone();
         // Simulated mode coalesces the single sequential stream into ~4 MiB
         // requests: for one cursor moving forward, every device model
         // charges by the page-rounded high-water mark, so the totals (bytes,
@@ -1025,17 +1246,20 @@ impl<B: StorageBackend> Executor<B> {
                     sum = sum.wrapping_add(row[0]);
                     count += 1;
                 }
+                self.note_peak(rel.resident_bytes());
             }
             idx += n.max(1);
         }
         self.charge_cpu(*compares, 1, 0);
         let avg = if count > 0 { sum / count } else { 0 };
-        let output = if self.faithful() {
-            Some(RowBuf::from_rows(&[vec![avg]]))
+        let (output, digest) = if self.faithful() {
+            let digest = fnv_values(FNV_OFFSET, &[avg]);
+            let out = self.collect_output.then(|| RowBuf::from_rows(&[vec![avg]]));
+            (out, Some(digest))
         } else {
-            None
+            (None, None)
         };
-        Ok((1, output))
+        Ok((1, output, digest))
     }
 }
 
@@ -1192,8 +1416,8 @@ mod tests {
             2,
         )
         .unwrap();
-        let rrows = r.rows.clone().unwrap().to_rows();
-        let srows = s.rows.clone().unwrap().to_rows();
+        let rrows = r.collect_rows().unwrap().to_rows();
+        let srows = s.collect_rows().unwrap().to_rows();
         let ri = ex.add_relation(r);
         let si = ex.add_relation(s);
         let stats = ex
@@ -1246,8 +1470,8 @@ mod tests {
             4,
         )
         .unwrap();
-        let rrows = r.rows.clone().unwrap().to_rows();
-        let srows = s.rows.clone().unwrap().to_rows();
+        let rrows = r.collect_rows().unwrap().to_rows();
+        let srows = s.collect_rows().unwrap().to_rows();
         let ri = ex.add_relation(r);
         let si = ex.add_relation(s);
         let stats = ex
@@ -1287,6 +1511,105 @@ mod tests {
         let out = stats.output.unwrap();
         assert_eq!(out.len(), 1000);
         assert!(out.is_sorted());
+    }
+
+    /// Satellite regression for the old `rel.rows.clone()` at the sort's
+    /// emit step: the faithful executor's transient tuple allocation must
+    /// stay within one block of the relation size — never the 2-3x the
+    /// clone-then-sort-in-place path peaked at. Streamed relations stay
+    /// bounded by the cache budget; the materialized oracle pays the
+    /// relation (resident by design) plus a 4-byte-per-row permutation
+    /// plus one block.
+    #[test]
+    fn sort_transient_allocation_stays_within_one_block_of_the_relation() {
+        let card = 50_000u64;
+        let rel_bytes = card * 8;
+        let budget = 16 * 1024u64;
+        let b_out = 1024u64;
+        let plan = |li: usize| Plan::ExternalSort {
+            input: li,
+            fan_in: 8,
+            b_in: 256,
+            b_out,
+            scratch: "HDD".into(),
+            output: Output::Discard,
+        };
+        let spec = RelSpec::ints("L", "HDD", card)
+            .with_key_range(9_999)
+            .with_cache_bytes(budget);
+
+        // Streamed (default): peak ≪ relation size. The collected output
+        // is the point of a Discard run, so compare without collection.
+        let mut ex = setup(true, 1 << 25);
+        ex.collect_output = false;
+        let l = Relation::create(&mut ex.sm, &spec, true, 5).unwrap();
+        let li = ex.add_relation(l);
+        let stats = ex.run(&plan(li)).unwrap();
+        assert_eq!(stats.output_rows, card);
+        assert!(
+            stats.peak_resident_bytes <= 4 * budget + b_out * 8,
+            "streamed sort peak {} vs budget {budget}",
+            stats.peak_resident_bytes
+        );
+        assert!(stats.peak_resident_bytes < rel_bytes / 2);
+
+        // Materialized oracle: relation + index permutation + one block,
+        // strictly below the 2x the old whole-batch clone started from.
+        let mut ex = setup(true, 1 << 25);
+        ex.collect_output = false;
+        let l =
+            Relation::create_with(&mut ex.sm, &spec, crate::rel::GenMode::Materialized, 5).unwrap();
+        let li = ex.add_relation(l);
+        let stats = ex.run(&plan(li)).unwrap();
+        assert_eq!(stats.output_rows, card);
+        assert!(
+            stats.peak_resident_bytes <= rel_bytes + card * 4 + 2 * b_out * 8,
+            "materialized sort peak {} vs relation {rel_bytes}",
+            stats.peak_resident_bytes
+        );
+        assert!(stats.peak_resident_bytes < 2 * rel_bytes);
+    }
+
+    /// The emission digest is stable across output collection on/off and
+    /// across row sources — the comparison handle for faithful twins too
+    /// large to materialize.
+    #[test]
+    fn output_digest_is_collection_and_source_independent() {
+        let spec = RelSpec::ints("L", "HDD", 3_000)
+            .sorted()
+            .with_key_range(500);
+        let run = |mode: crate::rel::GenMode, collect: bool| -> ExecStats {
+            let mut ex = setup(true, 1 << 25);
+            ex.collect_output = collect;
+            let l = Relation::create_with(&mut ex.sm, &spec, mode, 13).unwrap();
+            let li = ex.add_relation(l);
+            ex.run(&Plan::DedupSorted {
+                input: li,
+                b_in: 64,
+                output: Output::Discard,
+            })
+            .unwrap()
+        };
+        let a = run(crate::rel::GenMode::Streamed, true);
+        let b = run(crate::rel::GenMode::Streamed, false);
+        let c = run(crate::rel::GenMode::Materialized, true);
+        assert!(a.output.is_some() && b.output.is_none());
+        assert_eq!(a.output_rows, b.output_rows);
+        assert_eq!(a.output_digest, b.output_digest);
+        assert_eq!(a.output_digest, c.output_digest);
+        assert!(a.output_digest.is_some());
+        // Different data ⇒ different digest.
+        let mut ex = setup(true, 1 << 25);
+        let l = Relation::create(&mut ex.sm, &spec, true, 14).unwrap();
+        let li = ex.add_relation(l);
+        let d = ex
+            .run(&Plan::DedupSorted {
+                input: li,
+                b_in: 64,
+                output: Output::Discard,
+            })
+            .unwrap();
+        assert_ne!(a.output_digest, d.output_digest);
     }
 
     #[test]
@@ -1370,8 +1693,8 @@ mod tests {
             7,
         )
         .unwrap();
-        let abuf = a.rows.clone().unwrap();
-        let bbuf = b.rows.clone().unwrap();
+        let abuf = a.collect_rows().unwrap();
+        let bbuf = b.collect_rows().unwrap();
         let ai = ex.add_relation(a);
         let bi = ex.add_relation(b);
         let stats = ex
@@ -1395,8 +1718,8 @@ mod tests {
         let mut ex = setup(true, 1 << 25);
         let c1 = Relation::create(&mut ex.sm, &RelSpec::ints("C1", "HDD", 100), true, 8).unwrap();
         let c2 = Relation::create(&mut ex.sm, &RelSpec::ints("C2", "HDD", 100), true, 9).unwrap();
-        let r1 = c1.rows.clone().unwrap();
-        let r2 = c2.rows.clone().unwrap();
+        let r1 = c1.collect_rows().unwrap();
+        let r2 = c2.collect_rows().unwrap();
         let i1 = ex.add_relation(c1);
         let i2 = ex.add_relation(c2);
         let stats = ex
@@ -1424,7 +1747,7 @@ mod tests {
             10,
         )
         .unwrap();
-        let rows = l.rows.clone().unwrap();
+        let rows = l.collect_rows().unwrap();
         let li = ex.add_relation(l);
         let stats = ex
             .run(&Plan::DedupSorted {
@@ -1442,7 +1765,7 @@ mod tests {
     fn aggregate_computes_avg() {
         let mut ex = setup(true, 1 << 25);
         let l = Relation::create(&mut ex.sm, &RelSpec::ints("L", "HDD", 400), true, 11).unwrap();
-        let rows = l.rows.clone().unwrap();
+        let rows = l.collect_rows().unwrap();
         let li = ex.add_relation(l);
         let stats = ex
             .run(&Plan::Aggregate {

@@ -29,4 +29,7 @@ pub mod rel;
 pub use exec::{merge_bufs, merge_rows, ExecError, ExecStats, Executor};
 pub use lower::{lower, LowerError, WorkloadHint};
 pub use plan::{CpuModel, JoinPred, MergeKind, Mode, Output, Plan};
-pub use rel::{decode_rows, encode_rows, RelSpec, Relation, Row, RowBuf, RowsView};
+pub use rel::{
+    decode_rows, encode_rows, GenMode, RelSpec, Relation, Row, RowBuf, RowGen, RowsView,
+    SortedEmitter, DEFAULT_CACHE_BYTES,
+};

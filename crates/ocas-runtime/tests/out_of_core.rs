@@ -35,14 +35,7 @@ fn streamed_sorted_ints(fb: &mut FileBackend, device: &str, card: u64, seed: u64
         fb.materialize(file, at * 8, &bytes).unwrap();
         at += take;
     }
-    Relation {
-        file,
-        card,
-        tuple_bytes: 8,
-        width: 1,
-        key_range: card.max(1),
-        rows: None,
-    }
+    Relation::attach(file, card, 1, card.max(1))
 }
 
 #[test]

@@ -199,9 +199,10 @@ fn real_grace_join_is_correct_and_matches_simulator() {
     let mut sm = StorageSim::from_hierarchy(&h);
     let r = Relation::create(&mut sm, &specs[0], true, 3).unwrap();
     let s = Relation::create(&mut sm, &specs[1], true, 4).unwrap();
+    let (rbuf, sbuf) = (r.collect_rows().unwrap(), s.collect_rows().unwrap());
     let mut expect = Vec::new();
-    for x in r.rows.as_ref().unwrap().iter() {
-        for y in s.rows.as_ref().unwrap().iter() {
+    for x in rbuf.iter() {
+        for y in sbuf.iter() {
             if x[0] == y[0] {
                 let mut row = x.to_vec();
                 row.extend_from_slice(y);
@@ -292,6 +293,50 @@ fn eviction_policies_all_produce_correct_results() {
     }
 }
 
+/// Streamed creation writes the backing file per block; the bytes on
+/// disk must be identical to what the legacy whole-relation encode +
+/// single materialize produced — across sortedness, widths and narrow
+/// `col_bytes` (the satellite check for the per-block
+/// `encode_into`/`materialize` setup path).
+#[test]
+fn streamed_creation_writes_byte_identical_files_to_the_legacy_path() {
+    use ocas_engine::GenMode;
+    use std::io::Read;
+    let cases = [
+        (false, 1u32, 8u32, 0u64), // unsorted ints, default key range
+        (true, 1, 8, 97),          // sorted ints
+        (true, 2, 8, 40),          // sorted pairs (lexicographic)
+        (true, 1, 1, 50),          // sorted narrow columns
+        (false, 3, 4, 33),         // wide tuples, 4-byte columns
+    ];
+    for (sorted, width, col_bytes, key_range) in cases {
+        let read_dev = |mode: GenMode| -> Vec<u8> {
+            let h = unit_page_hierarchy();
+            let mut fb = FileBackend::from_hierarchy(&h, PoolConfig::default()).unwrap();
+            let mut spec = RelSpec::pairs("R", "HDD", 3_000)
+                .with_key_range(key_range)
+                // Small budget: many per-block materialize calls.
+                .with_cache_bytes(512 * u64::from(width) * 8);
+            spec.width = width;
+            spec.col_bytes = col_bytes;
+            spec.sorted = sorted;
+            let rel = Relation::create_with(&mut fb, &spec, mode, 7).unwrap();
+            fb.flush().unwrap();
+            let mut bytes = vec![0u8; rel.bytes() as usize];
+            std::fs::File::open(fb.dir().join("HDD.dev"))
+                .unwrap()
+                .read_exact(&mut bytes)
+                .unwrap();
+            bytes
+        };
+        assert_eq!(
+            read_dev(GenMode::Streamed),
+            read_dev(GenMode::Materialized),
+            "sorted={sorted} width={width} col_bytes={col_bytes} key_range={key_range}"
+        );
+    }
+}
+
 /// Narrow-column regression: a faithful plan over 1-byte columns must land
 /// on disk in the documented on-disk format (`col_bytes` LE bytes per
 /// column), matching how `Relation::create` materializes inputs — not as
@@ -305,7 +350,7 @@ fn narrow_column_output_uses_the_on_disk_tuple_format() {
     spec.col_bytes = 1;
     let rel = Relation::create(&mut ex.sm, &spec, true, 5).unwrap();
     let input_bytes = rel.bytes();
-    let rows = rel.rows.clone().unwrap();
+    let rows = rel.collect_rows().unwrap();
     let li = ex.add_relation(rel);
     let stats = ex
         .run(&Plan::DedupSorted {

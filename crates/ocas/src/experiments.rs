@@ -656,6 +656,150 @@ pub fn figure8() -> Result<Vec<Fig8Point>, ExpError> {
     Ok(out)
 }
 
+/// One faithful-scale twin comparison: a relation strictly larger than
+/// the hierarchy's RAM device, executed **faithfully** on the device
+/// simulator and on the real file backend with output collection off,
+/// compared by row count and emission digest, with the metered peak of
+/// resident tuple bytes on both backends.
+#[derive(Debug, Clone)]
+pub struct FaithfulScaleReport {
+    /// Workload name.
+    pub name: String,
+    /// Input relation size in bytes (strictly above `ram_bytes`).
+    pub relation_bytes: u64,
+    /// The hierarchy's RAM device size in bytes.
+    pub ram_bytes: u64,
+    /// Rows both twins emitted.
+    pub output_rows: u64,
+    /// The simulator twin's emission digest.
+    pub output_digest: u64,
+    /// True when both twins agreed on rows and digest.
+    pub outputs_match: bool,
+    /// Peak resident tuple bytes of the simulator twin (generator
+    /// windows + sink staging; output collection off).
+    pub sim_peak_resident: u64,
+    /// Peak resident tuple bytes of the real-backend twin.
+    pub real_peak_resident: u64,
+    /// Simulated seconds of the simulator twin.
+    pub sim_seconds: f64,
+    /// Wall seconds of the real-backend execution.
+    pub wall_seconds: f64,
+}
+
+impl FaithfulScaleReport {
+    /// True when both twins' metered peaks stayed strictly below the RAM
+    /// device size while the relation exceeded it — the past-RAM claim.
+    pub fn peak_bounded(&self) -> bool {
+        self.relation_bytes > self.ram_bytes
+            && self.sim_peak_resident < self.ram_bytes
+            && self.real_peak_resident < self.ram_bytes
+    }
+}
+
+/// RAM device size of the faithful-scale configuration.
+pub const FAITHFUL_SCALE_RAM: u64 = 1 << 20;
+
+/// The faithful-scale workloads: streaming templates over a relation
+/// `2 * scale` times the RAM device (generator cache capped at 1/8 of
+/// RAM), faithful on both backends. This is the simulator-twin
+/// configuration the streamed `Relation` generator exists for: before it,
+/// faithful comparisons were capped by host RAM because every relation
+/// materialized eagerly.
+pub fn faithful_scale(scale: u64) -> Result<Vec<FaithfulScaleReport>, ExpError> {
+    use ocas_runtime::{FileBackend, PoolConfig};
+    let scale = scale.max(1);
+    let ram = FAITHFUL_SCALE_RAM;
+    let cache = ram / 8;
+    let card = 2 * scale * ram / 8; // 8-byte ints: relation = 2 * scale * ram
+    let ints = || {
+        RelSpec::ints("L", "HDD", card)
+            .with_key_range(card / 2)
+            .with_cache_bytes(cache)
+    };
+    let out = Output::ToDevice {
+        device: "HDD".into(),
+        buffer_bytes: 1 << 16,
+    };
+    let workloads: Vec<(&str, Plan, RelSpec)> = vec![
+        (
+            "aggregate past RAM",
+            Plan::Aggregate {
+                input: 0,
+                b_in: 4096,
+            },
+            ints(),
+        ),
+        (
+            "dedup-sorted past RAM",
+            Plan::DedupSorted {
+                input: 0,
+                b_in: 4096,
+                output: out.clone(),
+            },
+            ints().sorted(),
+        ),
+        (
+            "external-sort past RAM",
+            Plan::ExternalSort {
+                input: 0,
+                fan_in: 8,
+                b_in: 4096,
+                b_out: 8192,
+                scratch: "HDD".into(),
+                output: out,
+            },
+            ints(),
+        ),
+    ];
+
+    let mut reports = Vec::new();
+    for (name, plan, spec) in workloads {
+        let h = presets::hdd_ram(ram);
+        let run_one = |stats: &ocas_engine::ExecStats| {
+            (
+                stats.output_rows,
+                stats.output_digest.unwrap_or(0),
+                stats.peak_resident_bytes,
+            )
+        };
+
+        // Simulator twin.
+        let sm = StorageSim::from_hierarchy(&h);
+        let mut sim =
+            Executor::new(sm, Mode::Faithful, CpuModel::default()).with_output_collection(false);
+        let rel = Relation::create(&mut sim.sm, &spec, true, 77)?;
+        sim.add_relation(rel);
+        let sim_stats = sim.run(&plan)?;
+        let (sim_rows, sim_digest, sim_peak) = run_one(&sim_stats);
+
+        // Real-backend twin: the same plan over actual temp files.
+        let fb = FileBackend::from_hierarchy(&h, PoolConfig::default())
+            .map_err(ocas_engine::ExecError::from)?;
+        let mut real =
+            Executor::new(fb, Mode::Faithful, CpuModel::disabled()).with_output_collection(false);
+        let rel = Relation::create(&mut real.sm, &spec, true, 77)?;
+        real.add_relation(rel);
+        let t0 = std::time::Instant::now();
+        let real_stats = real.run(&plan)?;
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        let (real_rows, real_digest, real_peak) = run_one(&real_stats);
+
+        reports.push(FaithfulScaleReport {
+            name: name.to_string(),
+            relation_bytes: card * 8,
+            ram_bytes: ram,
+            output_rows: sim_rows,
+            output_digest: sim_digest,
+            outputs_match: sim_rows == real_rows && sim_digest == real_digest,
+            sim_peak_resident: sim_peak,
+            real_peak_resident: real_peak,
+            sim_seconds: sim_stats.seconds,
+            wall_seconds,
+        });
+    }
+    Ok(reports)
+}
+
 /// The cache-miss companion experiment ("BNL with cache"): faithful
 /// execution at reduced scale, tiled vs untiled, returning
 /// `(untiled_misses, tiled_misses)`.

@@ -1,0 +1,50 @@
+//! The faithful-scale acceptance check for the streamed `Relation`
+//! generator: a faithful simulator-twin comparison over a relation
+//! **strictly larger than the configured RAM device**, with the metered
+//! peak of resident tuple bytes asserted below that size on both
+//! backends — the configuration eager materialization made impossible
+//! (every faithful relation used to live in host memory whole).
+
+use ocas::experiments::{faithful_scale, FAITHFUL_SCALE_RAM};
+
+#[test]
+fn faithful_twins_agree_past_ram_with_bounded_peaks() {
+    let reports = faithful_scale(1).expect("faithful-scale workloads");
+    assert_eq!(reports.len(), 3, "aggregate, dedup-sorted, external-sort");
+    for r in &reports {
+        assert!(
+            r.relation_bytes > r.ram_bytes,
+            "{}: relation {} must exceed the {} B RAM device",
+            r.name,
+            r.relation_bytes,
+            r.ram_bytes
+        );
+        assert!(
+            r.outputs_match,
+            "{}: simulator and real twins diverged (rows {} digest {:#x})",
+            r.name, r.output_rows, r.output_digest
+        );
+        assert!(r.output_rows > 0, "{}: degenerate workload", r.name);
+        assert!(
+            r.sim_peak_resident < r.ram_bytes,
+            "{}: simulator peak {} not below RAM {}",
+            r.name,
+            r.sim_peak_resident,
+            r.ram_bytes
+        );
+        assert!(
+            r.real_peak_resident < r.ram_bytes,
+            "{}: real-backend peak {} not below RAM {}",
+            r.name,
+            r.real_peak_resident,
+            r.ram_bytes
+        );
+        assert!(
+            r.peak_bounded(),
+            "{}: peak_bounded must summarize this",
+            r.name
+        );
+        assert!(r.sim_seconds > 0.0 && r.wall_seconds > 0.0, "{}", r.name);
+    }
+    assert_eq!(FAITHFUL_SCALE_RAM, 1 << 20, "documented configuration");
+}

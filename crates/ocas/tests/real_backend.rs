@@ -22,7 +22,7 @@ fn rows_for(spec: &RelSpec, seed: u64) -> Vec<Row> {
     let mut sm = StorageSim::from_hierarchy(&h);
     Relation::create(&mut sm, spec, true, seed)
         .unwrap()
-        .rows
+        .collect_rows()
         .unwrap()
         .to_rows()
 }

@@ -40,8 +40,8 @@ fn synthesized_join_agrees_with_interpreter() {
         2,
     )
     .unwrap();
-    let r_rows = r.rows.clone().unwrap().to_rows();
-    let s_rows = s.rows.clone().unwrap().to_rows();
+    let r_rows = r.collect_rows().unwrap().to_rows();
+    let s_rows = s.collect_rows().unwrap().to_rows();
     let mut relations = BTreeMap::new();
     relations.insert("R".to_string(), ex.add_relation(r));
     relations.insert("S".to_string(), ex.add_relation(s));

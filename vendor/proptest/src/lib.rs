@@ -150,7 +150,7 @@ pub mod test_runner {
             let mut h: u64 = 0xcbf2_9ce4_8422_2325;
             for b in name.bytes() {
                 h ^= b as u64;
-                h = h.wrapping_mul(0x1000_0000_01b3);
+                h = h.wrapping_mul(0x100_0000_01b3);
             }
             TestRng {
                 inner: StdRng::seed_from_u64(h),

@@ -99,12 +99,30 @@ pub mod rngs {
             z ^ (z >> 31)
         }
     }
+
+    impl StdRng {
+        /// Skips `n` draws in O(1): SplitMix64 advances its state by a
+        /// fixed increment per draw, so the state after `n` draws is
+        /// directly computable. This lets block-streaming generators seed
+        /// themselves per block while remaining bit-identical to one
+        /// sequential whole-stream generator.
+        ///
+        /// **Stand-in extension**: rand 0.8's `StdRng` (ChaCha12) has no
+        /// such method. The single call site (`ocas_engine::rel::RowGen`)
+        /// is documented in `vendor/README.md`; when swapping in the real
+        /// crate, replace this with a counter-based seekable RNG there.
+        pub fn advance(&mut self, n: u64) {
+            self.state = self
+                .state
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(n));
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::rngs::StdRng;
-    use super::{Rng, SeedableRng};
+    use super::{Rng, RngCore, SeedableRng};
 
     #[test]
     fn deterministic_for_seed() {
@@ -112,6 +130,24 @@ mod tests {
         let mut b = StdRng::seed_from_u64(42);
         for _ in 0..100 {
             assert_eq!(a.gen_range(0i64..1000), b.gen_range(0i64..1000));
+        }
+    }
+
+    #[test]
+    fn advance_equals_sequential_draws() {
+        // The O(1) skip must agree with actually drawing, for any mix of
+        // skips and draws — the property `RowGen`'s per-block seeking
+        // rests on.
+        for (seed, skip) in [(0u64, 0u64), (42, 1), (7, 13), (u64::MAX, 1000)] {
+            let mut seq = StdRng::seed_from_u64(seed);
+            for _ in 0..skip {
+                seq.next_u64();
+            }
+            let mut jumped = StdRng::seed_from_u64(seed);
+            jumped.advance(skip);
+            for _ in 0..64 {
+                assert_eq!(seq.next_u64(), jumped.next_u64());
+            }
         }
     }
 
