@@ -22,6 +22,17 @@
 //!   workload actually engaged `O_DIRECT` (nightly runs this together with
 //!   `--disk-bound` on a real filesystem, pinning that the buffered
 //!   fallback is not the only path ever exercised)
+//! * `--trace-out <dir>`      record every Table 1 row (and the two `obs`
+//!   workloads) under the `ocas-obs` recorder and write one Chrome
+//!   trace-event JSON file per row into `<dir>` (load them in Perfetto or
+//!   `chrome://tracing`). Every written file is re-parsed and schema
+//!   validated; a malformed trace fails the run.
+//!
+//! The `obs` section (two representative workloads run under the
+//! `ocas-obs` recorder, reduced to counter and span-seconds totals)
+//! always runs: its counters and event counts are deterministic, so
+//! `--check` gates them exactly, with the usual tolerance on span
+//! seconds.
 //!
 //! The synthesis-search section (arena/parallel engine vs the legacy
 //! reference engine on the two largest-search Table 1 rows) always runs —
@@ -37,9 +48,38 @@
 
 use ocas_bench::json::Json;
 use ocas_bench::report::{
-    bench_doc, check_regressions, engine_throughput, faithful_scale_rows, real_workloads,
-    synthesis_stats, validate_bench_doc,
+    bench_doc, check_regressions, engine_throughput, faithful_scale_rows, obs_rows, real_workloads,
+    synthesis_stats, validate_bench_doc, validate_chrome_trace,
 };
+
+/// Lower-cases `name` into a filesystem-safe slug.
+fn slug(name: &str) -> String {
+    let mut out = String::new();
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    out.trim_matches('-').to_string()
+}
+
+/// Writes one Chrome trace file and round-trips it through the parser and
+/// the trace schema check; a malformed export fails the whole run.
+fn write_trace(dir: &str, stem: &str, chrome: &str) {
+    let path = format!("{dir}/{stem}.json");
+    std::fs::write(&path, chrome).expect("write trace file");
+    let parsed = Json::parse(chrome).unwrap_or_else(|e| {
+        eprintln!("FAIL: trace {path} is not valid JSON: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = validate_chrome_trace(&parsed) {
+        eprintln!("FAIL: trace {path} failed schema validation: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("  wrote trace {path}");
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +92,7 @@ fn main() {
     let mut check_tolerance = 25.0f64;
     let mut disk_bound = false;
     let mut assert_direct = false;
+    let mut trace_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -84,11 +125,18 @@ fn main() {
             }
             "--disk-bound" => disk_bound = true,
             "--assert-direct" => assert_direct = true,
+            "--trace-out" => {
+                trace_out = Some(it.next().expect("--trace-out needs a directory").clone())
+            }
             other => {
                 eprintln!("unknown option `{other}`");
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some(dir) = &trace_out {
+        std::fs::create_dir_all(dir).expect("create --trace-out directory");
     }
 
     let mut table1 = Vec::new();
@@ -97,9 +145,21 @@ fn main() {
     if !real_only {
         eprintln!("running Table 1 (16 synthesis + execution rows)…");
         for e in ocas::experiments::table1() {
-            match e.run() {
+            if trace_out.is_some() {
+                ocas_obs::start();
+            }
+            let run = e.run();
+            let trace = ocas_obs::finish();
+            match run {
                 Ok(row) => {
                     eprintln!("  {:<40} ok", row.name);
+                    if let (Some(dir), Some(t)) = (&trace_out, &trace) {
+                        write_trace(
+                            dir,
+                            &format!("table1-{}", slug(&row.name)),
+                            &t.to_chrome_json(),
+                        );
+                    }
                     table1.push(row);
                 }
                 Err(err) => eprintln!("  {:<40} FAILED: {err}", e.name),
@@ -188,6 +248,28 @@ fn main() {
         diverged |= !r.report.outputs_match();
     }
 
+    eprintln!("running observability workloads (ocas-obs recorder)…");
+    let obs = match obs_rows() {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("observability workloads FAILED: {e}");
+            std::process::exit(1);
+        }
+    };
+    for r in &obs {
+        eprintln!(
+            "  {:<16} events={:>8} counters={} sim={:.4}s wall={:.4}s",
+            r.name,
+            r.events,
+            r.counters.len(),
+            r.sim_span_seconds,
+            r.wall_span_seconds
+        );
+        if let Some(dir) = &trace_out {
+            write_trace(dir, &format!("obs-{}", slug(&r.name)), &r.chrome_trace);
+        }
+    }
+
     let before_doc = engine_before.map(|p| {
         let text = std::fs::read_to_string(&p).expect("read --engine-before document");
         Json::parse(&text).expect("parse --engine-before document")
@@ -200,6 +282,7 @@ fn main() {
         &engine,
         &synthesis,
         &faithful,
+        &obs,
         before_doc.as_ref(),
     );
     validate_bench_doc(&doc).expect("generated document must satisfy its own schema");

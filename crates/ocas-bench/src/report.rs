@@ -13,7 +13,7 @@ use ocas_runtime::{FileBackend, PoolConfig, RealReport, Runtime, RuntimeError};
 use ocas_storage::{StorageBackend, StorageSim};
 
 /// The document's schema tag; bump on breaking layout changes.
-pub const SCHEMA: &str = "ocas-bench/v3";
+pub const SCHEMA: &str = "ocas-bench/v4";
 
 /// One named real-I/O measurement.
 pub struct RealRow {
@@ -122,7 +122,7 @@ fn engine_json(r: &EngineRow, before: Option<f64>) -> Json {
 
 /// The engine throughput workloads: every plan template, faithful mode,
 /// sized so one run takes well under a second each at `scale = 1`.
-fn engine_workloads(scale: u64) -> Vec<(Plan, Vec<RelSpec>)> {
+pub fn engine_workloads(scale: u64) -> Vec<(Plan, Vec<RelSpec>)> {
     let s = scale.max(1);
     let out = |buf: u64| Output::ToDevice {
         device: "HDD".into(),
@@ -214,7 +214,9 @@ fn engine_workloads(scale: u64) -> Vec<(Plan, Vec<RelSpec>)> {
     ]
 }
 
-fn engine_run<B: StorageBackend>(
+/// Creates the relations of one [`engine_workloads`] entry in `ex` and runs
+/// `plan` faithfully, measuring host wall-clock throughput.
+pub fn engine_run<B: StorageBackend>(
     mut ex: Executor<B>,
     plan: &Plan,
     specs: &[RelSpec],
@@ -258,6 +260,143 @@ pub fn engine_throughput(scale: u64) -> Result<Vec<EngineRow>, RuntimeError> {
         out.push(engine_run(real, &plan, &specs, "real")?);
     }
     Ok(out)
+}
+
+/// One observability row: a representative workload run under the
+/// `ocas-obs` recorder, reduced to the trace's flat metric totals (the
+/// document's `obs` section) plus the Chrome trace-event export.
+#[derive(Debug, Clone)]
+pub struct ObsRow {
+    /// Row name. `sim:` rows are fully deterministic (every event lives on
+    /// the simulated clock); `real:` rows have deterministic counters and
+    /// event counts but wall-clock span seconds.
+    pub name: String,
+    /// Total recorded occurrences (retained events plus merged folds).
+    pub events: u64,
+    /// Summed span seconds on the simulated clock.
+    pub sim_span_seconds: f64,
+    /// Summed span seconds on the wall clock.
+    pub wall_span_seconds: f64,
+    /// Counter totals keyed `"track/name"`.
+    pub counters: std::collections::BTreeMap<String, f64>,
+    /// The recording exported as Chrome trace-event JSON.
+    pub chrome_trace: String,
+}
+
+fn obs_reduce(name: &str, trace: &ocas_obs::Trace) -> ObsRow {
+    let m = trace.metrics();
+    ObsRow {
+        name: name.to_string(),
+        events: m.events,
+        // `+ 0.0` normalizes the empty sum (`Sum for f64` folds from -0.0).
+        sim_span_seconds: m.sim_span_seconds.values().sum::<f64>() + 0.0,
+        wall_span_seconds: m.wall_span_seconds.values().sum::<f64>() + 0.0,
+        counters: m.counters,
+        chrome_trace: trace.to_chrome_json(),
+    }
+}
+
+/// Runs the two observability workloads under the recorder:
+///
+/// * `sim:set-union` — a full synthesize + execute pass on the simulator.
+///   Search-level spans, per-rule counters and device/CPU attribution
+///   spans are all on the deterministic clock, so `bench_json --check`
+///   gates the counters *and* the simulated span seconds exactly.
+/// * `real:grace-join` — the GRACE-join engine workload on the
+///   [`FileBackend`]. Pool counters (hits/misses/evictions/write-backs)
+///   and the event count are deterministic; wall span seconds are not.
+pub fn obs_rows() -> Result<Vec<ObsRow>, String> {
+    let mut out = Vec::new();
+
+    ocas_obs::start();
+    let sim = (|| {
+        let e = ocas::experiments::set_union();
+        let synth = e.synthesize()?;
+        e.execute(&synth)?;
+        Ok::<(), ocas::experiments::ExpError>(())
+    })();
+    let trace = ocas_obs::finish().unwrap_or_default();
+    sim.map_err(|e| format!("obs `sim:set-union` failed: {e}"))?;
+    out.push(obs_reduce("sim:set-union", &trace));
+
+    ocas_obs::start();
+    let real = (|| {
+        let (plan, specs) = engine_workloads(1)
+            .into_iter()
+            .nth(1)
+            .expect("the GRACE-join workload");
+        let h = presets::hdd_ram(64 << 20);
+        let fb = FileBackend::from_hierarchy(&h, PoolConfig::default())?;
+        let ex = Executor::new(fb, Mode::Faithful, CpuModel::disabled());
+        engine_run(ex, &plan, &specs, "real")?;
+        Ok::<(), RuntimeError>(())
+    })();
+    let trace = ocas_obs::finish().unwrap_or_default();
+    real.map_err(|e| format!("obs `real:grace-join` failed: {e}"))?;
+    out.push(obs_reduce("real:grace-join", &trace));
+
+    Ok(out)
+}
+
+fn obs_json(r: &ObsRow) -> Json {
+    let counters = Json::Obj(
+        r.counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::num(*v)))
+            .collect(),
+    );
+    Json::obj(vec![
+        ("name", Json::str(&r.name)),
+        ("events", Json::num(r.events as f64)),
+        ("sim_span_seconds", Json::num(r.sim_span_seconds)),
+        ("wall_span_seconds", Json::num(r.wall_span_seconds)),
+        ("counters", counters),
+    ])
+}
+
+/// Checks that `doc` is a Chrome trace-event document Perfetto will load:
+/// a `traceEvents` array whose entries carry `ph`/`pid`/`tid`/`ts`, with
+/// a `name` on metadata/span/counter events and a `dur` on complete
+/// (`"X"`) events.
+pub fn validate_chrome_trace(doc: &Json) -> Result<(), String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing `traceEvents` array")?;
+    if events.is_empty() {
+        return Err("empty `traceEvents`".into());
+    }
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("traceEvents[{i}] missing `ph`"))?;
+        for field in ["pid", "tid"] {
+            if e.get(field).and_then(Json::as_num).is_none() {
+                return Err(format!("traceEvents[{i}] missing numeric `{field}`"));
+            }
+        }
+        match ph {
+            "M" => {}
+            "X" => {
+                for field in ["ts", "dur"] {
+                    if e.get(field).and_then(Json::as_num).is_none() {
+                        return Err(format!("traceEvents[{i}] missing numeric `{field}`"));
+                    }
+                }
+            }
+            "C" => {
+                if e.get("ts").and_then(Json::as_num).is_none() {
+                    return Err(format!("traceEvents[{i}] missing numeric `ts`"));
+                }
+            }
+            other => return Err(format!("traceEvents[{i}] has unknown phase `{other}`")),
+        }
+        if e.get("name").and_then(Json::as_str).is_none() {
+            return Err(format!("traceEvents[{i}] missing `name`"));
+        }
+    }
+    Ok(())
 }
 
 /// The faithful-scale twin workloads (relation strictly larger than the
@@ -440,6 +579,7 @@ pub fn bench_doc(
     engine: &[EngineRow],
     synthesis: &[SynthesisRow],
     faithful: &[FaithfulScaleReport],
+    obs: &[ObsRow],
     engine_baseline: Option<&Json>,
 ) -> Json {
     let engine_entries: Vec<Json> = engine
@@ -466,6 +606,7 @@ pub fn bench_doc(
             "faithful_scale",
             Json::Arr(faithful.iter().map(faithful_json).collect()),
         ),
+        ("obs", Json::Arr(obs.iter().map(obs_json).collect())),
         ("real", Json::Arr(real.iter().map(real_json).collect())),
     ];
     if let Some((untiled, tiled)) = cache_misses {
@@ -494,7 +635,11 @@ pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
     if schema != SCHEMA {
         return Err(format!("schema `{schema}` is not `{SCHEMA}`"));
     }
-    let sections: [(&str, &[&str]); 6] = [
+    let sections: [(&str, &[&str]); 7] = [
+        (
+            "obs",
+            &["name", "events", "sim_span_seconds", "wall_span_seconds"],
+        ),
         (
             "table1",
             &[
@@ -581,6 +726,21 @@ pub fn validate_bench_doc(doc: &Json) -> Result<(), String> {
                 };
                 if !ok {
                     return Err(format!("{section}[{i}].{field} has the wrong type"));
+                }
+            }
+        }
+    }
+    if let Some(arr) = doc.get("obs").and_then(Json::as_arr) {
+        for (i, entry) in arr.iter().enumerate() {
+            let counters = entry
+                .get("counters")
+                .ok_or_else(|| format!("obs[{i}] missing `counters`"))?;
+            let Json::Obj(pairs) = counters else {
+                return Err(format!("obs[{i}].counters is not an object"));
+            };
+            for (k, v) in pairs {
+                if v.as_num().is_none() {
+                    return Err(format!("obs[{i}].counters.{k} is not a number"));
                 }
             }
         }
@@ -753,6 +913,57 @@ pub fn check_regressions(
             failures.push(format!(
                 "synthesis `{name}`: speedup {speedup:.2}x < baseline {base_speedup:.2}x / {SYNTH_SPEEDUP_TOLERANCE}"
             ));
+        }
+    }
+
+    for entry in arr(doc, "obs") {
+        let name = entry
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string();
+        let Some(base) = arr(baseline, "obs")
+            .into_iter()
+            .find(|b| b.get("name").and_then(Json::as_str) == Some(&name))
+        else {
+            continue;
+        };
+        compared += 1;
+        let num = |e: &Json, f: &str| e.get(f).and_then(Json::as_num).unwrap_or(f64::NAN);
+        // Counters and event counts are deterministic by the recorder
+        // contract (same seeds, same plans, worker-count-invariant
+        // recording): compare the whole counter map exactly. Drift means
+        // the instrumentation or the workload changed and must be an
+        // explicit baseline update.
+        let (got, want) = (num(&entry, "events"), num(&base, "events"));
+        if got != want {
+            failures.push(format!("obs `{name}`: events {got} != baseline {want}"));
+        }
+        let counters = |e: &Json| -> Vec<(String, f64)> {
+            match e.get("counters") {
+                Some(Json::Obj(pairs)) => pairs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.as_num().unwrap_or(f64::NAN)))
+                    .collect(),
+                _ => Vec::new(),
+            }
+        };
+        let (got_c, want_c) = (counters(&entry), counters(&base));
+        if got_c != want_c {
+            failures.push(format!(
+                "obs `{name}`: counters {got_c:?} != baseline {want_c:?}"
+            ));
+        }
+        // Span seconds carry timing: wall seconds are machine noise, and
+        // even simulated totals get the tolerance (they move legitimately
+        // whenever the cost model or a workload constant is tuned).
+        for field in ["sim_span_seconds", "wall_span_seconds"] {
+            let (secs, base_secs) = (num(&entry, field), num(&base, field));
+            if secs > tol * base_secs.max(f64::MIN_POSITIVE) {
+                failures.push(format!(
+                    "obs `{name}`: {field} {secs:.4} > {tol}x baseline {base_secs:.4}"
+                ));
+            }
         }
     }
 

@@ -24,7 +24,7 @@ fn fresh_real_document_validates() {
         assert!(r.report.wall_seconds > 0.0);
         assert!(r.report.sim_seconds > 0.0);
     }
-    let doc = bench_doc(&[], &[], None, &real, &[], &[], &[], None);
+    let doc = bench_doc(&[], &[], None, &real, &[], &[], &[], &[], None);
     validate_bench_doc(&doc).expect("schema");
     // And it survives a serialization round trip.
     let back = Json::parse(&doc.pretty()).expect("parse back");
@@ -41,7 +41,7 @@ fn fresh_faithful_scale_section_validates_and_twins_agree() {
         assert!(r.outputs_match, "{}: twins diverged", r.name);
         assert!(r.peak_bounded(), "{}: peak not bounded", r.name);
     }
-    let doc = bench_doc(&[], &[], None, &[], &[], &[], &faithful, None);
+    let doc = bench_doc(&[], &[], None, &[], &[], &[], &faithful, &[], None);
     validate_bench_doc(&doc).expect("schema");
     // Digest survives the JSON round trip as text.
     let back = Json::parse(&doc.pretty()).expect("parse back");
@@ -54,7 +54,7 @@ fn fresh_faithful_scale_section_validates_and_twins_agree() {
 
 fn faithful_fixture(rows: u64, digest: &str, bounded: bool, wall: f64) -> Json {
     Json::parse(&format!(
-        r#"{{"schema": "ocas-bench/v3", "table1": [], "figure8": [], "engine": [],
+        r#"{{"schema": "ocas-bench/v4", "table1": [], "figure8": [], "obs": [], "engine": [],
             "figures": {{"paper_platform_devices": []}}, "synthesis": [], "real": [],
             "faithful_scale": [{{"name": "w", "relation_bytes": 2097152,
                 "ram_bytes": 1048576, "output_rows": {rows}, "digest": "{digest}",
@@ -162,7 +162,7 @@ fn validator_rejects_malformed_documents() {
     let bad = Json::obj(vec![("schema", Json::str("something/else"))]);
     assert!(validate_bench_doc(&bad).is_err());
     let missing_field = Json::parse(
-        r#"{"schema": "ocas-bench/v3", "table1": [], "figure8": [], "engine": [],
+        r#"{"schema": "ocas-bench/v4", "table1": [], "figure8": [], "obs": [], "engine": [],
             "figures": {"paper_platform_devices": []}, "synthesis": [],
             "faithful_scale": [], "real": [{"name": "x"}]}"#,
     )
@@ -170,14 +170,14 @@ fn validator_rejects_malformed_documents() {
     let err = validate_bench_doc(&missing_field).unwrap_err();
     assert!(err.contains("real[0]"), "{err}");
     let missing_engine = Json::parse(
-        r#"{"schema": "ocas-bench/v3", "table1": [], "figure8": [],
+        r#"{"schema": "ocas-bench/v4", "table1": [], "figure8": [], "obs": [],
             "figures": {"paper_platform_devices": []}, "synthesis": [], "faithful_scale": [], "real": []}"#,
     )
     .unwrap();
     let err = validate_bench_doc(&missing_engine).unwrap_err();
     assert!(err.contains("engine"), "{err}");
     let missing_synthesis = Json::parse(
-        r#"{"schema": "ocas-bench/v3", "table1": [], "figure8": [], "engine": [],
+        r#"{"schema": "ocas-bench/v4", "table1": [], "figure8": [], "obs": [], "engine": [],
             "figures": {"paper_platform_devices": []}, "faithful_scale": [], "real": []}"#,
     )
     .unwrap();
@@ -216,7 +216,7 @@ fn engine_throughput_covers_every_template_on_both_backends() {
 
 fn check_fixture_scaled(wall: f64, bytes: f64, rps: f64, scale: u64) -> Json {
     Json::parse(&format!(
-        r#"{{"schema": "ocas-bench/v3", "table1": [], "figure8": [],
+        r#"{{"schema": "ocas-bench/v4", "table1": [], "figure8": [], "obs": [],
             "figures": {{"paper_platform_devices": []}},
             "engine": [{{"template": "external-sort", "backend": "sim",
                         "rows_in": 1000, "rows_out": 1000, "seconds": 1.0,
@@ -232,7 +232,7 @@ fn check_fixture_scaled(wall: f64, bytes: f64, rps: f64, scale: u64) -> Json {
 
 fn synthesis_fixture(explored: u64, seconds: f64, speedup: f64) -> Json {
     Json::parse(&format!(
-        r#"{{"schema": "ocas-bench/v3", "table1": [], "figure8": [], "engine": [],
+        r#"{{"schema": "ocas-bench/v4", "table1": [], "figure8": [], "obs": [], "engine": [],
             "figures": {{"paper_platform_devices": []}}, "real": [], "faithful_scale": [],
             "synthesis": [{{"name": "BNL - No writeout", "explored": {explored},
                            "generated": 3000, "rejected_type": 0,
@@ -274,7 +274,7 @@ fn regression_checker_accepts_within_tolerance_and_rejects_beyond() {
     assert_eq!(check_regressions(&scaled, &baseline, 10.0), Ok(1));
     // Unmatched names are skipped, not failed.
     let empty = Json::parse(
-        r#"{"schema": "ocas-bench/v3", "table1": [], "figure8": [], "engine": [],
+        r#"{"schema": "ocas-bench/v4", "table1": [], "figure8": [], "obs": [], "engine": [],
             "figures": {"paper_platform_devices": []}, "synthesis": [], "faithful_scale": [], "real": []}"#,
     )
     .unwrap();
@@ -299,6 +299,41 @@ fn regression_checker_pins_synthesis_determinism_and_speedup() {
     assert_eq!(check_regressions(&slower, &baseline, 25.0), Ok(1));
 }
 
+fn obs_fixture(events: u64, hits: f64, sim: f64) -> Json {
+    Json::parse(&format!(
+        r#"{{"schema": "ocas-bench/v4", "table1": [], "figure8": [], "engine": [],
+            "figures": {{"paper_platform_devices": []}}, "synthesis": [],
+            "faithful_scale": [], "real": [],
+            "obs": [{{"name": "real:grace-join", "events": {events},
+                     "sim_span_seconds": {sim}, "wall_span_seconds": 0.5,
+                     "counters": {{"pool:HDD/hits": {hits}}}}}]}}"#
+    ))
+    .unwrap()
+}
+
+#[test]
+fn regression_checker_pins_obs_counters_exactly() {
+    let baseline = obs_fixture(5000, 42.0, 1.0);
+    validate_bench_doc(&baseline).expect("obs fixture satisfies the schema");
+    assert_eq!(check_regressions(&baseline, &baseline, 25.0), Ok(1));
+    // Event counts and counter totals are deterministic: exact failures.
+    let drifted_events = obs_fixture(5001, 42.0, 1.0);
+    let errs = check_regressions(&drifted_events, &baseline, 25.0).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("events")), "{errs:?}");
+    let drifted_counter = obs_fixture(5000, 43.0, 1.0);
+    let errs = check_regressions(&drifted_counter, &baseline, 25.0).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("counters")), "{errs:?}");
+    // Span seconds are timing: the generous tolerance applies.
+    let slower = obs_fixture(5000, 42.0, 3.0);
+    assert_eq!(check_regressions(&slower, &baseline, 25.0), Ok(1));
+    let blown = obs_fixture(5000, 42.0, 50.0);
+    let errs = check_regressions(&blown, &baseline, 10.0).unwrap_err();
+    assert!(
+        errs.iter().any(|e| e.contains("sim_span_seconds")),
+        "{errs:?}"
+    );
+}
+
 #[test]
 fn fresh_synthesis_section_validates_and_engines_agree() {
     let synthesis = synthesis_stats();
@@ -308,6 +343,6 @@ fn fresh_synthesis_section_validates_and_engines_agree() {
         assert!(s.seconds > 0.0 && s.reference_seconds > 0.0, "{s:?}");
         assert!(s.arena_nodes > 0, "{s:?}");
     }
-    let doc = bench_doc(&[], &[], None, &[], &[], &synthesis, &[], None);
+    let doc = bench_doc(&[], &[], None, &[], &[], &synthesis, &[], &[], None);
     validate_bench_doc(&doc).expect("schema");
 }

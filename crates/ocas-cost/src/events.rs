@@ -341,6 +341,27 @@ impl<'h> CostEngine<'h> {
 
     /// Runs the analysis on a program.
     pub fn cost(&self, program: &Expr) -> Result<CostReport, CostError> {
+        let w0 = ocas_obs::wall_now();
+        let out = self.cost_inner(program);
+        if ocas_obs::enabled() {
+            // Fires only on threads that carry a recorder — the main
+            // thread's sequential/refinement costing; the pipelined cost
+            // workers record their spans at the synthesizer's
+            // deterministic merge instead.
+            ocas_obs::counter(ocas_obs::Clock::Wall, "cost", "estimates", w0, 1.0);
+            ocas_obs::span(
+                ocas_obs::Clock::Wall,
+                "cost",
+                "estimate",
+                w0,
+                ocas_obs::wall_now() - w0,
+                &[],
+            );
+        }
+        out
+    }
+
+    fn cost_inner(&self, program: &Expr) -> Result<CostReport, CostError> {
         let mut ctx = Ctx {
             gamma: self.inputs.clone(),
             ..Ctx::default()

@@ -431,6 +431,7 @@ impl<B: StorageBackend> Executor<B> {
     /// Runs a plan to completion.
     pub fn run(&mut self, plan: &Plan) -> Result<ExecStats, ExecError> {
         let t0 = self.sm.clock();
+        let w0 = ocas_obs::wall_now();
         self.peak_resident = 0;
         let mut compares: u64 = 0;
         let (rows, output, digest) = match plan {
@@ -523,6 +524,27 @@ impl<B: StorageBackend> Executor<B> {
             } => self.run_dedup(*input, *b_in, output, &mut compares)?,
             Plan::Aggregate { input, b_in } => self.run_aggregate(*input, *b_in, &mut compares)?,
         };
+        if ocas_obs::enabled() {
+            // One span per operator instance, on the backend's clock
+            // domain so it aligns with the device tracks below it.
+            let clock = self.sm.obs_clock();
+            let (start, dur) = match clock {
+                ocas_obs::Clock::Sim => (t0, self.sm.clock() - t0),
+                ocas_obs::Clock::Wall => (w0, ocas_obs::wall_now() - w0),
+            };
+            ocas_obs::span(
+                clock,
+                "engine",
+                plan.name(),
+                start,
+                dur,
+                &[
+                    ("output_rows", rows as f64),
+                    ("compares", compares as f64),
+                    ("peak_resident_bytes", self.peak_resident as f64),
+                ],
+            );
+        }
         Ok(ExecStats {
             seconds: self.sm.clock() - t0,
             output_rows: rows,

@@ -533,6 +533,15 @@ impl RowGen {
         ((b as u128 * self.range as u128).div_ceil(nb)) as i64
     }
 
+    /// True when bucket `b` spans exactly one first-column value. Width-1
+    /// tuples in such a bucket are all identical, so a sorted window may
+    /// slice the bucket at any rank — the fast path that keeps one
+    /// huge-multiplicity value from forcing a window far past the cache
+    /// budget.
+    fn single_value_bucket(&self, b: u64) -> bool {
+        self.bucket_lo(b + 1) - self.bucket_lo(b) == 1
+    }
+
     /// One counting pass over the stream: per-bucket tuple counts, as
     /// cumulative prefix sums. O(card) time, O(SORT_BUCKETS) memory.
     fn build_prefix(&mut self) {
@@ -584,23 +593,41 @@ impl RowGen {
             return (start, len);
         }
         let nb = self.n_buckets() as usize;
+        let fast = self.width == 1;
         // The bucket whose rank span contains `rank`.
         let b0 = self
             .prefix
             .partition_point(|p| *p <= rank)
             .saturating_sub(1);
-        let mut b1 = b0 + 1;
-        while b1 < nb
-            && (self.prefix[b1] < rank + need || self.prefix[b1] - self.prefix[b0] < budget)
-        {
-            b1 += 1;
+        // Width-1 single-value buckets can be sliced at any rank (all
+        // their tuples are identical), so enter the bucket on the budget
+        // grid rather than at its boundary.
+        let start = if fast && self.single_value_bucket(b0 as u64) {
+            self.prefix[b0] + (rank - self.prefix[b0]) / budget * budget
+        } else {
+            self.prefix[b0]
+        };
+        let target = (rank + need).max(start + budget);
+        let mut b = b0;
+        loop {
+            if fast && self.single_value_bucket(b as u64) && target < self.prefix[b + 1] {
+                // Stop mid-bucket: a slice up to `target` covers the need
+                // and the budget without dragging in the whole bucket.
+                return (start, target - start);
+            }
+            let end = self.prefix[b + 1];
+            if b + 1 >= nb || (end >= rank + need && end - start >= budget) {
+                return (start, end - start);
+            }
+            b += 1;
         }
-        (self.prefix[b0], self.prefix[b1] - self.prefix[b0])
     }
 
     /// Fills `out` (cleared) with output ranks `[start, start + count)`.
-    /// For sorted specs the window must be bucket-aligned, i.e. come from
-    /// [`RowGen::window_of`].
+    /// For sorted specs the window must come from [`RowGen::window_of`]:
+    /// bucket-aligned except where a width-1 single-value bucket allows a
+    /// partial head or tail slice (those ranks are copies of the bucket's
+    /// one value, so they need no regeneration pass).
     fn fill_window(&self, start: u64, count: u64, out: &mut RowBuf) {
         out.clear();
         if count == 0 {
@@ -610,34 +637,60 @@ impl RowGen {
             self.gen_block_into(start, count, out);
             return;
         }
-        let nb = self.n_buckets() as usize;
-        let b0 = self
+        let end = start + count;
+        let hb = self
             .prefix
             .partition_point(|p| *p <= start)
             .saturating_sub(1);
-        let b1 = self.prefix.partition_point(|p| *p < start + count);
-        debug_assert_eq!(self.prefix[b0], start, "window not bucket-aligned");
-        debug_assert_eq!(self.prefix[b1], start + count, "window not bucket-aligned");
-        let lo = self.bucket_lo(b0 as u64);
-        let hi = if b1 >= nb {
-            self.range
-        } else {
-            self.bucket_lo(b1 as u64)
-        };
-        // One filtered pass: regenerate every tuple, keep those whose
-        // first column lands in the window's value range, skipping the
-        // rest in O(1) per tuple.
-        let mut rng = self.rng_at(0);
-        let skip = self.width as u64 - 1;
-        for _ in 0..self.card {
-            let first: i64 = rng.gen_range(0..self.range);
-            if (lo..hi).contains(&first) {
-                out.push_raw(first);
-                for _ in 0..skip {
-                    out.push_raw(rng.gen_range(0..self.range));
+        // Partial head: the window enters bucket `hb` past its boundary.
+        let mut at = start;
+        if self.prefix[hb] < start {
+            let head_end = end.min(self.prefix[hb + 1]);
+            debug_assert!(
+                self.width == 1 && self.single_value_bucket(hb as u64),
+                "unaligned window start outside the width-1 fast path"
+            );
+            let v = self.bucket_lo(hb as u64);
+            for _ in at..head_end {
+                out.push_raw(v);
+            }
+            at = head_end;
+        }
+        if at < end {
+            // Fully covered buckets [m0, m1), then a partial tail slice
+            // inside bucket `m1`.
+            let m0 = self.prefix.partition_point(|p| *p <= at).saturating_sub(1);
+            debug_assert_eq!(self.prefix[m0], at, "window not bucket-aligned");
+            let m1 = self.prefix.partition_point(|p| *p <= end).saturating_sub(1);
+            if m0 < m1 {
+                let lo = self.bucket_lo(m0 as u64);
+                let hi = self.bucket_lo(m1 as u64);
+                // One filtered pass: regenerate every tuple, keep those
+                // whose first column lands in the window's value range,
+                // skipping the rest in O(1) per tuple.
+                let mut rng = self.rng_at(0);
+                let skip = self.width as u64 - 1;
+                for _ in 0..self.card {
+                    let first: i64 = rng.gen_range(0..self.range);
+                    if (lo..hi).contains(&first) {
+                        out.push_raw(first);
+                        for _ in 0..skip {
+                            out.push_raw(rng.gen_range(0..self.range));
+                        }
+                    } else {
+                        rng.advance(skip);
+                    }
                 }
-            } else {
-                rng.advance(skip);
+            }
+            if self.prefix[m1] < end {
+                debug_assert!(
+                    self.width == 1 && self.single_value_bucket(m1 as u64),
+                    "unaligned window end outside the width-1 fast path"
+                );
+                let v = self.bucket_lo(m1 as u64);
+                for _ in self.prefix[m1]..end {
+                    out.push_raw(v);
+                }
             }
         }
         debug_assert_eq!(out.len() as u64, count, "bucket counts disagree");
@@ -1287,6 +1340,43 @@ mod tests {
             assert!(
                 peak <= 4 * budget,
                 "sorted={sorted}: peak {peak} vs budget {budget}"
+            );
+        }
+    }
+
+    /// The PR 5 caveat, fixed: a width-1 sorted relation whose first
+    /// column has huge multiplicity (few distinct values, so one bucket
+    /// holds a large share of all tuples) must still honor the cache
+    /// budget — single-value buckets are sliced on the budget grid
+    /// instead of being regenerated whole.
+    #[test]
+    fn sorted_width1_huge_multiplicity_honors_the_cache_budget() {
+        let h = presets::hdd_ram(1 << 25);
+        let budget = 4 * 1024u64; // bytes = 512 tuples of width 1
+        for key_range in [1u64, 3] {
+            let mut sm = StorageSim::from_hierarchy(&h);
+            let mut spec = RelSpec::ints("L", "HDD", 100_000)
+                .with_key_range(key_range)
+                .with_cache_bytes(budget);
+            spec.sorted = true;
+            let mut rel = Relation::create(&mut sm, &spec, true, 2).unwrap();
+            let oracle = rel.collect_rows().unwrap();
+            let mut at = 0u64;
+            let mut seen = RowBuf::new(oracle.width());
+            while at < rel.card {
+                let view = rel.block_rows(at, 128);
+                let n = view.len() as u64;
+                seen.extend_view(view);
+                at += n;
+            }
+            assert_eq!(seen, oracle, "key_range={key_range}: stream != oracle");
+            let peak = rel.peak_resident_bytes();
+            // Before the fast path the first window was the whole bucket:
+            // up to the full 800 KB relation. Now it stays within a small
+            // multiple of the 4 KB budget.
+            assert!(
+                peak <= 4 * budget,
+                "key_range={key_range}: peak {peak} vs budget {budget}"
             );
         }
     }

@@ -1,0 +1,191 @@
+//! Chrome trace-event JSON export (the format Perfetto and
+//! `chrome://tracing` load).
+//!
+//! Layout: one *process* per clock domain (`pid` 1 = simulated clock,
+//! `pid` 2 = wall clock) and one *thread* per track, named via `"M"`
+//! metadata events — so Perfetto shows a labeled lane per device, per
+//! search/cost worker, and for the engine's operator spans. Spans are
+//! complete events (`"ph": "X"`), counters are `"ph": "C"` series
+//! carrying the running total. Timestamps are microseconds.
+
+use crate::{Clock, EventKind, Trace};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+fn pid(clock: Clock) -> u32 {
+    match clock {
+        Clock::Sim => 1,
+        Clock::Wall => 2,
+    }
+}
+
+/// Escapes a string for a JSON literal (control characters, quotes,
+/// backslashes — track names are plain identifiers in practice).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON number: finite shortest-round-trip, with non-finite values
+/// (which JSON cannot carry) clamped to 0.
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:?}")
+    } else {
+        "0".to_string()
+    }
+}
+
+impl Trace {
+    /// Serializes the trace as Chrome trace-event JSON.
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        let mut emit = |s: String, first: &mut bool| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push_str(&s);
+        };
+        // Process + thread naming metadata. A track appears once per
+        // clock domain it is used on.
+        let mut clocks_seen = Vec::new();
+        let mut named: Vec<(u32, u16)> = Vec::new();
+        for e in &self.events {
+            if !clocks_seen.contains(&e.clock) {
+                clocks_seen.push(e.clock);
+            }
+            if !named.contains(&(pid(e.clock), e.track)) {
+                named.push((pid(e.clock), e.track));
+            }
+        }
+        for clock in &clocks_seen {
+            let label = match clock {
+                Clock::Sim => "simulated clock",
+                Clock::Wall => "wall clock",
+            };
+            emit(
+                format!(
+                    "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"{label}\"}}}}",
+                    pid(*clock)
+                ),
+                &mut first,
+            );
+        }
+        for (p, t) in &named {
+            emit(
+                format!(
+                    "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{p},\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+                    t + 1,
+                    escape(&self.tracks[*t as usize])
+                ),
+                &mut first,
+            );
+        }
+        // Counter series carry running totals per (clock, track, name).
+        let mut running: HashMap<(Clock, u16, &str), f64> = HashMap::new();
+        for e in &self.events {
+            let p = pid(e.clock);
+            let tid = e.track + 1;
+            let ts = num(e.start * 1e6);
+            match e.kind {
+                EventKind::Span => {
+                    let mut args = String::new();
+                    for (k, v) in &e.args {
+                        let _ = write!(args, "\"{}\":{},", escape(k), num(*v));
+                    }
+                    let _ = write!(args, "\"merged\":{}", e.merged);
+                    emit(
+                        format!(
+                            "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{p},\"tid\":{tid},\"ts\":{ts},\"dur\":{},\"args\":{{{args}}}}}",
+                            escape(e.name),
+                            match e.clock {
+                                Clock::Sim => "sim",
+                                Clock::Wall => "wall",
+                            },
+                            num(e.dur * 1e6),
+                        ),
+                        &mut first,
+                    );
+                }
+                EventKind::Counter => {
+                    let delta = e
+                        .args
+                        .iter()
+                        .find(|(n, _)| *n == e.name)
+                        .map_or(0.0, |(_, v)| *v);
+                    let total = running
+                        .entry((e.clock, e.track, e.name))
+                        .and_modify(|t| *t += delta)
+                        .or_insert(delta);
+                    emit(
+                        format!(
+                            "{{\"ph\":\"C\",\"name\":\"{}\",\"pid\":{p},\"tid\":{tid},\"ts\":{ts},\"args\":{{\"{}\":{}}}}}",
+                            escape(e.name),
+                            escape(e.name),
+                            num(*total),
+                        ),
+                        &mut first,
+                    );
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{counter, finish, span, start};
+
+    #[test]
+    fn chrome_export_has_metadata_spans_and_counters() {
+        start();
+        span(
+            Clock::Sim,
+            "dev:HDD",
+            "read",
+            0.0,
+            1.5,
+            &[("bytes", 4096.0)],
+        );
+        counter(Clock::Sim, "pool:HDD", "hits", 0.5, 3.0);
+        counter(Clock::Sim, "pool:HDD", "hits", 1.0, 2.0);
+        span(Clock::Wall, "cost-w0", "cost", 0.1, 0.2, &[]);
+        let json = finish().unwrap().to_chrome_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"thread_name\""));
+        assert!(json.contains("\"name\":\"dev:HDD\""));
+        assert!(json.contains("\"ph\":\"X\",\"name\":\"read\",\"cat\":\"sim\""));
+        assert!(json.contains("\"dur\":1500000"));
+        // Second counter sample carries the running total (3 + 2).
+        assert!(json.contains("\"args\":{\"hits\":5"));
+        assert!(json.contains("\"cat\":\"wall\""));
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+
+    #[test]
+    fn non_finite_numbers_are_clamped() {
+        assert_eq!(num(f64::NAN), "0");
+        assert_eq!(num(f64::INFINITY), "0");
+        assert_eq!(num(1.5), "1.5");
+    }
+}

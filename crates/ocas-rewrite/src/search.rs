@@ -172,10 +172,12 @@ pub fn search(
     )
 }
 
-/// Per-candidate provenance: the conservative-check exemptions of the rule
-/// that produced it (see [`Rule::preserves_type`]).
+/// Per-candidate provenance: the producing rule's name (for the per-rule
+/// tracing counters) and its conservative-check exemptions (see
+/// [`Rule::preserves_type`]).
 #[derive(Debug, Clone, Copy)]
 struct RuleInfo {
+    name: &'static str,
     preserves_type: bool,
     preserves_semantics: bool,
 }
@@ -344,6 +346,16 @@ pub fn search_with<H: SearchHooks>(
         if depth >= cfg.max_depth || programs.len() >= cfg.max_programs {
             break;
         }
+        // Tracing: spans/counters are only recorded here in the
+        // deterministic merge (below), never on workers, so traces are
+        // bit-identical for any worker count. The level span lives on the
+        // programs-explored axis (a deterministic "clock").
+        let tracing = ocas_obs::enabled();
+        let explored0 = programs.len();
+        let generated0 = stats.generated;
+        let frontier_len = frontier.len();
+        // Per-rule `(candidates, deduped, rejected_type, rejected_sem)`.
+        let mut rule_stats: BTreeMap<&'static str, [u64; 4]> = BTreeMap::new();
 
         // Expand the whole level (in parallel when it pays).
         let mut expansions: Vec<(usize, Vec<CandEval>)> = if workers <= 1 || frontier.len() < 2 {
@@ -394,10 +406,16 @@ pub fn search_with<H: SearchHooks>(
                 if programs.len() >= cfg.max_programs {
                     break;
                 }
+                if tracing {
+                    rule_stats.entry(ev.info.name).or_insert([0; 4])[0] += 1;
+                }
                 // Dedup without building the candidate: canonicalize the
                 // item tree with the rewrite spliced in at its path.
                 let key = interner.canonical_at(item, &ev.path, &ev.repl);
                 if seen.contains(&key) {
+                    if tracing {
+                        rule_stats.entry(ev.info.name).or_insert([0; 4])[1] += 1;
+                    }
                     continue;
                 }
                 let cand = ev
@@ -418,6 +436,9 @@ pub fn search_with<H: SearchHooks>(
                 };
                 if !ty_ok {
                     stats.rejected_type += 1;
+                    if tracing {
+                        rule_stats.entry(ev.info.name).or_insert([0; 4])[2] += 1;
+                    }
                     seen.insert(key);
                     continue;
                 }
@@ -438,6 +459,9 @@ pub fn search_with<H: SearchHooks>(
                 };
                 if !sem_ok {
                     stats.rejected_semantics += 1;
+                    if tracing {
+                        rule_stats.entry(ev.info.name).or_insert([0; 4])[3] += 1;
+                    }
                     seen.insert(key);
                     continue;
                 }
@@ -453,6 +477,34 @@ pub fn search_with<H: SearchHooks>(
                     }
                 }
                 programs.push((cand, depth + 1));
+            }
+        }
+        if tracing {
+            ocas_obs::span(
+                ocas_obs::Clock::Sim,
+                "search",
+                "level",
+                explored0 as f64,
+                (programs.len() - explored0) as f64,
+                &[
+                    ("depth", f64::from(depth + 1)),
+                    ("frontier", frontier_len as f64),
+                    ("generated", (stats.generated - generated0) as f64),
+                ],
+            );
+            let at = f64::from(depth + 1);
+            for (rule, [cand, dup, rty, rsem]) in rule_stats {
+                let track = format!("rule:{rule}");
+                for (name, v) in [
+                    ("candidates", cand),
+                    ("deduped", dup),
+                    ("rejected_type", rty),
+                    ("rejected_semantics", rsem),
+                ] {
+                    if v > 0 {
+                        ocas_obs::counter(ocas_obs::Clock::Sim, &track, name, at, v as f64);
+                    }
+                }
             }
         }
         frontier = next_frontier;
@@ -577,6 +629,7 @@ fn rewrite_sites(
                 continue;
             }
             let info = RuleInfo {
+                name: rule.name(),
                 preserves_type: rule.preserves_type(),
                 preserves_semantics: equivalence.is_some_and(|eq| rule.preserves_semantics(eq)),
             };

@@ -94,6 +94,46 @@ struct DeviceFile {
     /// Next byte position a purely sequential request would start at —
     /// a request elsewhere counts as a seek, mirroring the HDD simulator.
     position: u64,
+    /// Pool statistics as of the last emitted obs counter sample, so
+    /// tracing emits per-request deltas (only read while tracing).
+    obs_pool: PoolStats,
+}
+
+impl DeviceFile {
+    /// Records one charged request as a wall-clock span on this device's
+    /// track, plus counter deltas for any buffer-pool activity it caused.
+    fn obs_request(&mut self, name: &'static str, start: f64, dur: f64, bytes: u64, seek: bool) {
+        if !ocas_obs::enabled() {
+            return;
+        }
+        ocas_obs::span(
+            ocas_obs::Clock::Wall,
+            &format!("dev:{}", self.name),
+            name,
+            start,
+            dur,
+            &[("bytes", bytes as f64), ("seeks", u64::from(seek) as f64)],
+        );
+        let s = self.pool.stats();
+        let track = format!("pool:{}", self.name);
+        for (counter, cur, prev) in [
+            ("hits", s.hits, self.obs_pool.hits),
+            ("misses", s.misses, self.obs_pool.misses),
+            ("evictions", s.evictions, self.obs_pool.evictions),
+            ("write_backs", s.write_backs, self.obs_pool.write_backs),
+        ] {
+            if cur > prev {
+                ocas_obs::counter(
+                    ocas_obs::Clock::Wall,
+                    &track,
+                    counter,
+                    start + dur,
+                    (cur - prev) as f64,
+                );
+            }
+        }
+        self.obs_pool = s;
+    }
 }
 
 /// The real-I/O backend: files on disk, wall-clock accounting.
@@ -193,6 +233,7 @@ impl FileBackend {
                 pool: BufferPool::new(file, page, cfg.frames, cfg.policy).with_direct(direct),
                 stats: DeviceStats::default(),
                 position: 0,
+                obs_pool: PoolStats::default(),
             });
         }
         let n = devices.len();
@@ -249,9 +290,11 @@ impl FileBackend {
         self.check(file, offset, buf.len() as u64)?;
         let m = self.meta(file).clone();
         let pos = m.offset + offset;
+        let w0 = ocas_obs::wall_now();
         let t0 = Instant::now();
         let d = &mut self.devices[m.device];
-        if pos != d.position {
+        let seek = pos != d.position;
+        if seek {
             d.stats.seeks += 1;
         }
         d.pool.read(pos, buf)?;
@@ -259,6 +302,7 @@ impl FileBackend {
         d.stats.bytes_read += buf.len() as u64;
         let dt = t0.elapsed().as_secs_f64();
         d.stats.busy_seconds += dt;
+        d.obs_request("read", w0, dt, buf.len() as u64, seek);
         self.clock_seconds += dt;
         Ok(())
     }
@@ -267,9 +311,11 @@ impl FileBackend {
         self.check(file, offset, data.len() as u64)?;
         let m = self.meta(file).clone();
         let pos = m.offset + offset;
+        let w0 = ocas_obs::wall_now();
         let t0 = Instant::now();
         let d = &mut self.devices[m.device];
-        if pos != d.position {
+        let seek = pos != d.position;
+        if seek {
             d.stats.seeks += 1;
         }
         d.pool.write(pos, data)?;
@@ -277,6 +323,7 @@ impl FileBackend {
         d.stats.bytes_written += data.len() as u64;
         let dt = t0.elapsed().as_secs_f64();
         d.stats.busy_seconds += dt;
+        d.obs_request("write", w0, dt, data.len() as u64, seek);
         self.clock_seconds += dt;
         Ok(())
     }
@@ -480,6 +527,10 @@ impl StorageBackend for FileBackend {
 
     fn clock(&self) -> f64 {
         self.clock_seconds
+    }
+
+    fn obs_clock(&self) -> ocas_obs::Clock {
+        ocas_obs::Clock::Wall
     }
 
     fn len(&self, file: FileId) -> u64 {

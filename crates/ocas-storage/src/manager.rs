@@ -146,7 +146,9 @@ impl StorageSim {
     pub fn read(&mut self, file: FileId, offset: u64, len: u64) -> Result<(), StorageError> {
         self.check(file, offset, len)?;
         let m = self.meta(file).clone();
+        let seeks0 = self.obs_seeks(m.device);
         let t = self.devices[m.device].read(m.offset + offset, len);
+        self.obs_span("read", m.device, t, len, seeks0);
         self.clock_seconds += t;
         Ok(())
     }
@@ -155,13 +157,56 @@ impl StorageSim {
     pub fn write(&mut self, file: FileId, offset: u64, len: u64) -> Result<(), StorageError> {
         self.check(file, offset, len)?;
         let m = self.meta(file).clone();
+        let seeks0 = self.obs_seeks(m.device);
         let t = self.devices[m.device].write(m.offset + offset, len);
+        self.obs_span("write", m.device, t, len, seeks0);
         self.clock_seconds += t;
         Ok(())
     }
 
+    /// Seek count of a device, read only while tracing (the disabled-path
+    /// cost of each request is the one `enabled()` check).
+    fn obs_seeks(&self, device: usize) -> u64 {
+        if ocas_obs::enabled() {
+            self.devices[device].stats().seeks
+        } else {
+            0
+        }
+    }
+
+    /// Records one request as a span on the device's simulated-clock
+    /// track. The span durations on each `dev:*` track (plus the `cpu`
+    /// track) sum to exactly the clock advance — the attribution
+    /// property the acceptance test pins.
+    fn obs_span(&self, name: &'static str, device: usize, t: f64, len: u64, seeks0: u64) {
+        if ocas_obs::enabled() {
+            let d = &self.devices[device];
+            ocas_obs::span(
+                ocas_obs::Clock::Sim,
+                &format!("dev:{}", d.name()),
+                name,
+                self.clock_seconds,
+                t,
+                &[
+                    ("bytes", len as f64),
+                    ("seeks", (d.stats().seeks - seeks0) as f64),
+                ],
+            );
+        }
+    }
+
     /// Adds pure computation time to the clock (the engine's CPU model).
     pub fn charge_cpu(&mut self, seconds: f64) {
+        if ocas_obs::enabled() && seconds > 0.0 {
+            ocas_obs::span(
+                ocas_obs::Clock::Sim,
+                "cpu",
+                "charge",
+                self.clock_seconds,
+                seconds,
+                &[],
+            );
+        }
         self.clock_seconds += seconds;
     }
 

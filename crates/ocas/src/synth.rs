@@ -378,14 +378,27 @@ impl Synthesizer {
         } else {
             self.cost_workers
         };
+        // Tracing: the recorder is thread-local, so workers only *measure*
+        // (against a shared epoch) and the spans are recorded after the
+        // deterministic index-sorted merge below — one span per cost job
+        // regardless of the worker count or scheduling.
+        let obs_epoch = if ocas_obs::enabled() {
+            Some((std::time::Instant::now(), ocas_obs::wall_now()))
+        } else {
+            None
+        };
+        let timings: Mutex<Vec<(usize, usize, f64, f64)>> = Mutex::new(Vec::new());
 
         let search_result = std::thread::scope(|s| {
-            for _ in 0..cost_workers {
-                s.spawn(|| loop {
+            for w in 0..cost_workers {
+                let (rx, prepared, results, incumbent, timings) =
+                    (&rx, &prepared, &results, &incumbent, &timings);
+                s.spawn(move || loop {
                     let job = match rx.lock().unwrap().recv() {
                         Ok(job) => job,
                         Err(_) => break,
                     };
+                    let t0 = obs_epoch.map(|(epoch, _)| epoch.elapsed().as_secs_f64());
                     // Reuse the analysis the prune hook already did for
                     // this program, if any (bound included).
                     let ready = prepared.lock().unwrap().remove(&job.index);
@@ -412,7 +425,7 @@ impl Synthesizer {
                                 match ladder_search(&problem) {
                                     Err(_) => CostOut::Uncosted(job.index),
                                     Ok(tuned) => {
-                                        fetch_min(&incumbent, tuned.objective);
+                                        fetch_min(incumbent, tuned.objective);
                                         CostOut::Costed(
                                             job.index,
                                             Box::new(Candidate {
@@ -428,6 +441,10 @@ impl Synthesizer {
                             }
                         }
                     };
+                    if let (Some(s0), Some((epoch, _))) = (t0, obs_epoch) {
+                        let dur = epoch.elapsed().as_secs_f64() - s0;
+                        timings.lock().unwrap().push((w, job.index, s0, dur));
+                    }
                     results.lock().unwrap().push(out);
                 });
             }
@@ -462,6 +479,22 @@ impl Synthesizer {
         outs.sort_unstable_by_key(|o| match o {
             CostOut::Costed(i, _) | CostOut::Uncosted(i) | CostOut::Screened(i) => *i,
         });
+        if let Some((_, base)) = obs_epoch {
+            // One wall-clock span per cost job on its worker's track,
+            // recorded in program-index order.
+            let mut ts = timings.into_inner().unwrap();
+            ts.sort_unstable_by_key(|&(_, i, _, _)| i);
+            for (w, i, s0, dur) in ts {
+                ocas_obs::span(
+                    ocas_obs::Clock::Wall,
+                    &format!("cost-w{w}"),
+                    "cost",
+                    base + s0,
+                    dur,
+                    &[("index", i as f64)],
+                );
+            }
+        }
         let mut costed: Vec<Candidate> = Vec::new();
         let mut uncosted = 0usize;
         let mut screened = 0usize;

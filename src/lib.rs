@@ -10,6 +10,7 @@ pub use ocas_codegen;
 pub use ocas_cost;
 pub use ocas_engine;
 pub use ocas_hierarchy;
+pub use ocas_obs;
 pub use ocas_opt;
 pub use ocas_rewrite;
 pub use ocas_runtime;
