@@ -16,6 +16,10 @@
 //!   and exit non-zero on regressions (exact on rows/bytes/outputs, a
 //!   generous wall-clock and throughput tolerance for machine variance)
 //! * `--check-tolerance <x>`  override the wall/throughput factor (default 25)
+//! * `--chaos-seed <n>`       base fault seed of the chaos sweep (default 0;
+//!   the nightly passes its run id, and a failing sweep replays exactly by
+//!   passing the printed seed back in). `--check` compares chaos counters
+//!   exactly when the seeds match and skips them when they differ.
 //! * `--disk-bound`           run the real-I/O workloads in the
 //!   fsync/`O_DIRECT` disk-bounded timing mode
 //! * `--assert-direct`        exit non-zero unless at least one real-I/O
@@ -48,8 +52,8 @@
 
 use ocas_bench::json::Json;
 use ocas_bench::report::{
-    bench_doc, check_regressions, engine_throughput, faithful_scale_rows, obs_rows, real_workloads,
-    synthesis_stats, validate_bench_doc, validate_chrome_trace,
+    bench_doc, chaos_rows, check_regressions, engine_throughput, faithful_scale_rows, obs_rows,
+    real_workloads, synthesis_stats, validate_bench_doc, validate_chrome_trace,
 };
 
 /// Lower-cases `name` into a filesystem-safe slug.
@@ -90,6 +94,7 @@ fn main() {
     let mut engine_before: Option<String> = None;
     let mut check: Option<String> = None;
     let mut check_tolerance = 25.0f64;
+    let mut chaos_seed = 0u64;
     let mut disk_bound = false;
     let mut assert_direct = false;
     let mut trace_out: Option<String> = None;
@@ -122,6 +127,13 @@ fn main() {
                     .expect("--check-tolerance needs a number")
                     .parse()
                     .expect("--check-tolerance needs a number")
+            }
+            "--chaos-seed" => {
+                chaos_seed = it
+                    .next()
+                    .expect("--chaos-seed needs a number")
+                    .parse()
+                    .expect("--chaos-seed needs a number")
             }
             "--disk-bound" => disk_bound = true,
             "--assert-direct" => assert_direct = true,
@@ -270,6 +282,35 @@ fn main() {
         }
     }
 
+    eprintln!(
+        "running chaos suite (fault seed {chaos_seed}, 4 synthesized workloads × 2 backends)…"
+    );
+    let chaos = match chaos_rows(chaos_seed) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("chaos suite FAILED: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut chaos_bad = false;
+    for r in &chaos {
+        let s = &r.summary;
+        eprintln!(
+            "  {:<8} runs={:>2} identical={:>2} typed={:>2} faults={:>3} retries={:>3} degraded={:>2} wrong={} leaks={} pins={}",
+            r.workload,
+            s.runs,
+            s.identical,
+            s.typed_errors,
+            s.counters.faults_injected,
+            s.counters.retries,
+            s.counters.degradations(),
+            s.wrong_answers,
+            s.leaked_dirs,
+            s.pinned_pages
+        );
+        chaos_bad |= !s.clean();
+    }
+
     let before_doc = engine_before.map(|p| {
         let text = std::fs::read_to_string(&p).expect("read --engine-before document");
         Json::parse(&text).expect("parse --engine-before document")
@@ -283,6 +324,7 @@ fn main() {
         &synthesis,
         &faithful,
         &obs,
+        &chaos,
         before_doc.as_ref(),
     );
     validate_bench_doc(&doc).expect("generated document must satisfy its own schema");
@@ -294,6 +336,12 @@ fn main() {
     }
     if faithful_bad {
         eprintln!("FAIL: a faithful-scale twin diverged or exceeded the RAM device (see above)");
+        std::process::exit(1);
+    }
+    if chaos_bad {
+        eprintln!(
+            "FAIL: the chaos suite violated the robustness trichotomy (wrong answer, leaked dir or pinned page above) — replay with `--chaos-seed {chaos_seed}`"
+        );
         std::process::exit(1);
     }
     if assert_direct && !real.iter().any(|r| r.report.direct_io) {

@@ -24,7 +24,7 @@ fn fresh_real_document_validates() {
         assert!(r.report.wall_seconds > 0.0);
         assert!(r.report.sim_seconds > 0.0);
     }
-    let doc = bench_doc(&[], &[], None, &real, &[], &[], &[], &[], None);
+    let doc = bench_doc(&[], &[], None, &real, &[], &[], &[], &[], &[], None);
     validate_bench_doc(&doc).expect("schema");
     // And it survives a serialization round trip.
     let back = Json::parse(&doc.pretty()).expect("parse back");
@@ -41,7 +41,7 @@ fn fresh_faithful_scale_section_validates_and_twins_agree() {
         assert!(r.outputs_match, "{}: twins diverged", r.name);
         assert!(r.peak_bounded(), "{}: peak not bounded", r.name);
     }
-    let doc = bench_doc(&[], &[], None, &[], &[], &[], &faithful, &[], None);
+    let doc = bench_doc(&[], &[], None, &[], &[], &[], &faithful, &[], &[], None);
     validate_bench_doc(&doc).expect("schema");
     // Digest survives the JSON round trip as text.
     let back = Json::parse(&doc.pretty()).expect("parse back");
@@ -54,7 +54,7 @@ fn fresh_faithful_scale_section_validates_and_twins_agree() {
 
 fn faithful_fixture(rows: u64, digest: &str, bounded: bool, wall: f64) -> Json {
     Json::parse(&format!(
-        r#"{{"schema": "ocas-bench/v4", "table1": [], "figure8": [], "obs": [], "engine": [],
+        r#"{{"schema": "ocas-bench/v5", "table1": [], "chaos": [], "figure8": [], "obs": [], "engine": [],
             "figures": {{"paper_platform_devices": []}}, "synthesis": [], "real": [],
             "faithful_scale": [{{"name": "w", "relation_bytes": 2097152,
                 "ram_bytes": 1048576, "output_rows": {rows}, "digest": "{digest}",
@@ -162,7 +162,7 @@ fn validator_rejects_malformed_documents() {
     let bad = Json::obj(vec![("schema", Json::str("something/else"))]);
     assert!(validate_bench_doc(&bad).is_err());
     let missing_field = Json::parse(
-        r#"{"schema": "ocas-bench/v4", "table1": [], "figure8": [], "obs": [], "engine": [],
+        r#"{"schema": "ocas-bench/v5", "table1": [], "chaos": [], "figure8": [], "obs": [], "engine": [],
             "figures": {"paper_platform_devices": []}, "synthesis": [],
             "faithful_scale": [], "real": [{"name": "x"}]}"#,
     )
@@ -170,14 +170,14 @@ fn validator_rejects_malformed_documents() {
     let err = validate_bench_doc(&missing_field).unwrap_err();
     assert!(err.contains("real[0]"), "{err}");
     let missing_engine = Json::parse(
-        r#"{"schema": "ocas-bench/v4", "table1": [], "figure8": [], "obs": [],
+        r#"{"schema": "ocas-bench/v5", "table1": [], "chaos": [], "figure8": [], "obs": [],
             "figures": {"paper_platform_devices": []}, "synthesis": [], "faithful_scale": [], "real": []}"#,
     )
     .unwrap();
     let err = validate_bench_doc(&missing_engine).unwrap_err();
     assert!(err.contains("engine"), "{err}");
     let missing_synthesis = Json::parse(
-        r#"{"schema": "ocas-bench/v4", "table1": [], "figure8": [], "obs": [], "engine": [],
+        r#"{"schema": "ocas-bench/v5", "table1": [], "chaos": [], "figure8": [], "obs": [], "engine": [],
             "figures": {"paper_platform_devices": []}, "faithful_scale": [], "real": []}"#,
     )
     .unwrap();
@@ -216,7 +216,7 @@ fn engine_throughput_covers_every_template_on_both_backends() {
 
 fn check_fixture_scaled(wall: f64, bytes: f64, rps: f64, scale: u64) -> Json {
     Json::parse(&format!(
-        r#"{{"schema": "ocas-bench/v4", "table1": [], "figure8": [], "obs": [],
+        r#"{{"schema": "ocas-bench/v5", "table1": [], "chaos": [], "figure8": [], "obs": [],
             "figures": {{"paper_platform_devices": []}},
             "engine": [{{"template": "external-sort", "backend": "sim",
                         "rows_in": 1000, "rows_out": 1000, "seconds": 1.0,
@@ -232,7 +232,7 @@ fn check_fixture_scaled(wall: f64, bytes: f64, rps: f64, scale: u64) -> Json {
 
 fn synthesis_fixture(explored: u64, seconds: f64, speedup: f64) -> Json {
     Json::parse(&format!(
-        r#"{{"schema": "ocas-bench/v4", "table1": [], "figure8": [], "obs": [], "engine": [],
+        r#"{{"schema": "ocas-bench/v5", "table1": [], "chaos": [], "figure8": [], "obs": [], "engine": [],
             "figures": {{"paper_platform_devices": []}}, "real": [], "faithful_scale": [],
             "synthesis": [{{"name": "BNL - No writeout", "explored": {explored},
                            "generated": 3000, "rejected_type": 0,
@@ -274,7 +274,7 @@ fn regression_checker_accepts_within_tolerance_and_rejects_beyond() {
     assert_eq!(check_regressions(&scaled, &baseline, 10.0), Ok(1));
     // Unmatched names are skipped, not failed.
     let empty = Json::parse(
-        r#"{"schema": "ocas-bench/v4", "table1": [], "figure8": [], "obs": [], "engine": [],
+        r#"{"schema": "ocas-bench/v5", "table1": [], "chaos": [], "figure8": [], "obs": [], "engine": [],
             "figures": {"paper_platform_devices": []}, "synthesis": [], "faithful_scale": [], "real": []}"#,
     )
     .unwrap();
@@ -301,7 +301,7 @@ fn regression_checker_pins_synthesis_determinism_and_speedup() {
 
 fn obs_fixture(events: u64, hits: f64, sim: f64) -> Json {
     Json::parse(&format!(
-        r#"{{"schema": "ocas-bench/v4", "table1": [], "figure8": [], "engine": [],
+        r#"{{"schema": "ocas-bench/v5", "table1": [], "chaos": [], "figure8": [], "engine": [],
             "figures": {{"paper_platform_devices": []}}, "synthesis": [],
             "faithful_scale": [], "real": [],
             "obs": [{{"name": "real:grace-join", "events": {events},
@@ -343,6 +343,70 @@ fn fresh_synthesis_section_validates_and_engines_agree() {
         assert!(s.seconds > 0.0 && s.reference_seconds > 0.0, "{s:?}");
         assert!(s.arena_nodes > 0, "{s:?}");
     }
-    let doc = bench_doc(&[], &[], None, &[], &[], &synthesis, &[], &[], None);
+    let doc = bench_doc(&[], &[], None, &[], &[], &synthesis, &[], &[], &[], None);
     validate_bench_doc(&doc).expect("schema");
+}
+
+fn chaos_fixture(seed: u64, identical: u64, faults: u64, retries: u64, wrong: u64) -> Json {
+    Json::parse(&format!(
+        r#"{{"schema": "ocas-bench/v5", "table1": [], "chaos": [{{"workload": "sort",
+            "chaos_seed": {seed}, "runs": 12, "identical": {identical},
+            "typed_errors": 2, "wrong_answers": {wrong}, "leaked_dirs": 0,
+            "pinned_pages": 0, "faults_injected": {faults}, "retries": {retries},
+            "retry_successes": 3, "gave_up": 1, "degraded_shrinks": 2,
+            "degraded_failovers": 0, "corrupt_pages_detected": 1}}],
+            "figure8": [], "obs": [], "engine": [],
+            "figures": {{"paper_platform_devices": []}}, "synthesis": [],
+            "faithful_scale": [], "real": []}}"#
+    ))
+    .unwrap()
+}
+
+#[test]
+fn regression_checker_pins_chaos_counters_exactly_for_matching_seeds() {
+    let baseline = chaos_fixture(0, 10, 9, 4, 0);
+    validate_bench_doc(&baseline).expect("chaos fixture satisfies the schema");
+    assert_eq!(check_regressions(&baseline, &baseline, 25.0), Ok(1));
+    // Same seed, same plans: outcome and recovery counters are
+    // deterministic — any drift fails exactly.
+    let drifted_outcomes = chaos_fixture(0, 9, 9, 4, 0);
+    let errs = check_regressions(&drifted_outcomes, &baseline, 25.0).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("identical")), "{errs:?}");
+    let drifted_faults = chaos_fixture(0, 10, 8, 4, 0);
+    let errs = check_regressions(&drifted_faults, &baseline, 25.0).unwrap_err();
+    assert!(
+        errs.iter().any(|e| e.contains("faults_injected")),
+        "{errs:?}"
+    );
+    let drifted_retries = chaos_fixture(0, 10, 9, 5, 0);
+    let errs = check_regressions(&drifted_retries, &baseline, 25.0).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("retries")), "{errs:?}");
+}
+
+#[test]
+fn regression_checker_skips_chaos_sweeps_at_a_different_seed() {
+    // The nightly sweeps randomized seeds: different seed, different
+    // experiment — outcome totals legitimately differ, so the comparison
+    // skips (mirroring the real-I/O scale skip).
+    let baseline = chaos_fixture(0, 10, 9, 4, 0);
+    let nightly = chaos_fixture(777, 3, 25, 11, 0);
+    assert_eq!(check_regressions(&nightly, &baseline, 25.0), Ok(0));
+}
+
+#[test]
+fn regression_checker_fails_chaos_trichotomy_violations_unconditionally() {
+    // A wrong answer under faults is a robustness bug, not a regression to
+    // tolerate: it fails even when the seed differs from the baseline (and
+    // even against an empty baseline).
+    let baseline = chaos_fixture(0, 10, 9, 4, 0);
+    let wrong = chaos_fixture(777, 3, 25, 11, 1);
+    let errs = check_regressions(&wrong, &baseline, 25.0).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("wrong_answers")), "{errs:?}");
+    let empty = Json::parse(
+        r#"{"schema": "ocas-bench/v5", "table1": [], "chaos": [], "figure8": [], "obs": [], "engine": [],
+            "figures": {"paper_platform_devices": []}, "synthesis": [], "faithful_scale": [], "real": []}"#,
+    )
+    .unwrap();
+    let errs = check_regressions(&chaos_fixture(5, 3, 25, 11, 2), &empty, 25.0).unwrap_err();
+    assert!(errs.iter().any(|e| e.contains("wrong_answers")), "{errs:?}");
 }

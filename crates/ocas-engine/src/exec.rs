@@ -75,6 +75,9 @@ pub struct ExecStats {
     pub peak_resident_bytes: u64,
     /// Cache statistics, when a cache simulator was attached.
     pub cache: Option<CacheStats>,
+    /// Fault-injection and recovery counters reported by the backend
+    /// (`None` for backends that neither inject faults nor degrade).
+    pub recovery: Option<ocas_storage::RecoveryCounters>,
 }
 
 /// The plan executor: owns the storage backend, the relation table and
@@ -553,6 +556,7 @@ impl<B: StorageBackend> Executor<B> {
             output_digest: digest,
             peak_resident_bytes: self.peak_resident,
             cache: self.cache.as_ref().map(|c| c.stats()),
+            recovery: self.sm.recovery_counters(),
         })
     }
 
@@ -935,7 +939,7 @@ impl<B: StorageBackend> Executor<B> {
                 let f = self.sm.alloc(scratch, (b_out * tb).max(1))?;
                 self.sm.write(f, 0, (b_out * tb).max(1))?;
             }
-            self.sm.truncate_device(scratch, mark).ok();
+            self.sm.truncate_device(scratch, mark)?;
             *compares += n * (fan_in as f64).log2().ceil() as u64;
             runs = groups;
             first = false;

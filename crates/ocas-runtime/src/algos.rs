@@ -54,6 +54,140 @@ fn check_width(rel: &Relation) -> Result<usize, AlgoError> {
     Ok(w)
 }
 
+/// Scope guard over the devices an algorithm allocates on: snapshots their
+/// allocation watermarks at entry so the error path can roll everything
+/// back. The public algorithm entry points call [`SpillGuard::cleanup`] on
+/// every failure — pinned pages are released and each device is truncated
+/// to its entry mark, so a failed run leaves no spill extents or pinned
+/// frames behind. The success path simply drops the guard: outputs are
+/// harvested after the measured window and must survive.
+struct SpillGuard {
+    marks: Vec<(String, u64)>,
+}
+
+impl SpillGuard {
+    fn new(fb: &FileBackend, scratch: Option<&str>, output: &Output) -> SpillGuard {
+        let mut devices: Vec<&str> = Vec::new();
+        if let Some(s) = scratch {
+            devices.push(s);
+        }
+        if let Some(f) = fb.spill_fallback() {
+            devices.push(f);
+        }
+        if let Output::ToDevice { device, .. } = output {
+            devices.push(device);
+        }
+        let mut marks: Vec<(String, u64)> = Vec::new();
+        for d in devices {
+            if !marks.iter().any(|(name, _)| name == d) {
+                marks.push((d.to_string(), fb.watermark(d).unwrap_or(0)));
+            }
+        }
+        SpillGuard { marks }
+    }
+
+    fn cleanup(self, fb: &mut FileBackend) {
+        fb.release_all_pins();
+        for (device, mark) in &self.marks {
+            let _ = fb.truncate_device(device, *mark);
+        }
+    }
+}
+
+/// Spill allocation that degrades gracefully on capacity exhaustion
+/// instead of failing the whole run: extents shrink by halving where the
+/// caller can live with smaller pieces, and once even single-tuple extents
+/// no longer fit the allocator fails over (once) to the backend's
+/// configured alternate spill device. Every degradation is recorded via
+/// [`FileBackend`]'s `note_degradation` so it lands in the recovery
+/// counters and the obs `degrade:*` tracks.
+struct SpillAlloc {
+    device: String,
+    fallback: Option<String>,
+    failed_over: bool,
+}
+
+impl SpillAlloc {
+    fn new(fb: &FileBackend, device: &str) -> SpillAlloc {
+        SpillAlloc {
+            device: device.to_string(),
+            fallback: fb.spill_fallback().map(str::to_string),
+            failed_over: false,
+        }
+    }
+
+    /// Switches to the alternate spill device, or gives up with the
+    /// original capacity error when there is none (or it is already in
+    /// use).
+    fn fail_over(&mut self, fb: &mut FileBackend, e: StorageError) -> Result<(), AlgoError> {
+        match &self.fallback {
+            Some(to) if !self.failed_over && *to != self.device => {
+                fb.note_degradation(&self.device, "failover");
+                self.device = to.clone();
+                self.failed_over = true;
+                Ok(())
+            }
+            _ => Err(e.into()),
+        }
+    }
+
+    /// Allocates one contiguous extent (merged runs must stay contiguous,
+    /// so shrinking is not an option — only failover).
+    fn alloc(&mut self, fb: &mut FileBackend, len: u64) -> Result<FileId, AlgoError> {
+        loop {
+            match fb.alloc(&self.device, len) {
+                Ok(f) => return Ok(f),
+                Err(e) if e.is_capacity() => self.fail_over(fb, e)?,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Writes `bytes` (whole `tb`-byte tuples) as one or more spill
+    /// extents, returning `(file, bytes)` per extent in row order. On
+    /// capacity exhaustion the extent size halves — a contiguous slice of
+    /// a sorted batch is still a sorted run, a slice of a bucket buffer is
+    /// still bucket-pure — and when single-tuple extents no longer fit it
+    /// fails over to the alternate device.
+    fn spill_rows(
+        &mut self,
+        fb: &mut FileBackend,
+        bytes: &[u8],
+        tb: u64,
+    ) -> Result<Vec<(FileId, u64)>, AlgoError> {
+        let rows = bytes.len() as u64 / tb;
+        let mut out = Vec::new();
+        let mut start = 0u64;
+        let mut chunk = rows;
+        while start < rows {
+            let n = chunk.min(rows - start);
+            match fb.alloc(&self.device, n * tb) {
+                Ok(f) => {
+                    fb.write_bytes(
+                        f,
+                        0,
+                        &bytes[(start * tb) as usize..((start + n) * tb) as usize],
+                    )?;
+                    out.push((f, n * tb));
+                    start += n;
+                }
+                Err(e) if e.is_capacity() => {
+                    if chunk > 1 {
+                        chunk /= 2;
+                        fb.note_degradation(&self.device, "shrink");
+                    } else {
+                        self.fail_over(fb, e)?;
+                        // Fresh device: go back to full-size extents.
+                        chunk = rows;
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(out)
+    }
+}
+
 /// What one native out-of-core execution produced.
 #[derive(Debug)]
 pub struct AlgoRun {
@@ -269,6 +403,26 @@ pub fn external_sort(
     scratch: &str,
     output: &Output,
 ) -> Result<AlgoRun, AlgoError> {
+    let guard = SpillGuard::new(fb, Some(scratch), output);
+    match sort_inner(fb, input, fan_in, b_in, b_out, scratch, output) {
+        Ok(run) => Ok(run),
+        Err(e) => {
+            guard.cleanup(fb);
+            Err(e)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sort_inner(
+    fb: &mut FileBackend,
+    input: &Relation,
+    fan_in: u64,
+    b_in: u64,
+    b_out: u64,
+    scratch: &str,
+    output: &Output,
+) -> Result<AlgoRun, AlgoError> {
     let width = check_width(input)?;
     let tb = input.tuple_bytes;
     let fan_in = fan_in.max(2);
@@ -276,7 +430,10 @@ pub fn external_sort(
     let mut gauge = MemGauge::default();
 
     // Run formation under the merge's memory footprint: fan_in input
-    // buffers plus the output buffer.
+    // buffers plus the output buffer. A sorted batch normally becomes one
+    // run; under capacity pressure the spill allocator splits it into
+    // several smaller (still sorted) runs or fails over devices.
+    let mut spill = SpillAlloc::new(fb, scratch);
     let run_tuples = (fan_in * b_in + b_out).max(1);
     let mut runs: Vec<RunFile> = Vec::new();
     let mut batch = RowBuf::new(width);
@@ -290,12 +447,12 @@ pub fn external_sort(
         encode_buf.clear();
         batch.encode_into(8, &mut encode_buf);
         gauge.note(take * tb * 2); // batch + its encoding
-        let run = fb.alloc(scratch, (take * tb).max(1))?;
-        fb.write_bytes(run, 0, &encode_buf)?;
-        runs.push(RunFile {
-            file: run,
-            card: take,
-        });
+        for (file, bytes) in spill.spill_rows(fb, &encode_buf, tb)? {
+            runs.push(RunFile {
+                file,
+                card: bytes / tb,
+            });
+        }
         at += take;
     }
 
@@ -311,7 +468,7 @@ pub fn external_sort(
                 continue;
             }
             let total: u64 = group.iter().map(|r| r.card).sum();
-            let merged = fb.alloc(scratch, (total * tb).max(1))?;
+            let merged = spill.alloc(fb, (total * tb).max(1))?;
             let mut readers: Vec<RunReader> = group
                 .iter()
                 .map(|r| RunReader::new(r.file, r.card, width, b_in))
@@ -415,7 +572,7 @@ fn partition_side(
     rel: &Relation,
     partitions: u64,
     buffer_bytes: u64,
-    spill: &str,
+    spill: &mut SpillAlloc,
     gauge: &mut MemGauge,
 ) -> Result<Partitions, AlgoError> {
     let width = check_width(rel)?;
@@ -441,9 +598,7 @@ fn partition_side(
                 buckets[b].extend_from_slice(&col.to_le_bytes());
             }
             if buckets[b].len() as u64 >= per_bucket_buf {
-                let f = fb.alloc(spill, buckets[b].len() as u64)?;
-                fb.write_bytes(f, 0, &buckets[b])?;
-                parts.extents[b].push((f, buckets[b].len() as u64));
+                parts.extents[b].extend(spill.spill_rows(fb, &buckets[b], tb)?);
                 buckets[b].clear();
             }
         }
@@ -452,9 +607,7 @@ fn partition_side(
     }
     for (b, buf) in buckets.iter().enumerate() {
         if !buf.is_empty() {
-            let f = fb.alloc(spill, buf.len() as u64)?;
-            fb.write_bytes(f, 0, buf)?;
-            parts.extents[b].push((f, buf.len() as u64));
+            parts.extents[b].extend(spill.spill_rows(fb, buf, tb)?);
         }
     }
     Ok(parts)
@@ -490,12 +643,45 @@ pub fn grace_join(
     cross: bool,
     output: &Output,
 ) -> Result<AlgoRun, AlgoError> {
+    let guard = SpillGuard::new(fb, Some(spill), output);
+    match grace_inner(
+        fb,
+        left,
+        right,
+        partitions,
+        buffer_bytes,
+        spill,
+        cross,
+        output,
+    ) {
+        Ok(run) => Ok(run),
+        Err(e) => {
+            guard.cleanup(fb);
+            Err(e)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grace_inner(
+    fb: &mut FileBackend,
+    left: &Relation,
+    right: &Relation,
+    partitions: u64,
+    buffer_bytes: u64,
+    spill: &str,
+    cross: bool,
+    output: &Output,
+) -> Result<AlgoRun, AlgoError> {
     let lw = check_width(left)?;
     let rw = check_width(right)?;
     let partitions = partitions.max(1);
     let mut gauge = MemGauge::default();
-    let lparts = partition_side(fb, left, partitions, buffer_bytes, spill, &mut gauge)?;
-    let rparts = partition_side(fb, right, partitions, buffer_bytes, spill, &mut gauge)?;
+    // One allocator across both sides: a failover triggered while
+    // partitioning the left relation sticks for the right one.
+    let mut alloc = SpillAlloc::new(fb, spill);
+    let lparts = partition_side(fb, left, partitions, buffer_bytes, &mut alloc, &mut gauge)?;
+    let rparts = partition_side(fb, right, partitions, buffer_bytes, &mut alloc, &mut gauge)?;
 
     let mut sink = RealSink::new(output, lw + rw, left.tuple_bytes + right.tuple_bytes);
     let mut lb = RowBuf::new(lw);
@@ -532,6 +718,24 @@ pub fn grace_join(
 /// logic emits incrementally — resident memory is two input buffers plus
 /// the output staging buffer, independent of input cardinality.
 pub fn merge_pass(
+    fb: &mut FileBackend,
+    left: &Relation,
+    right: &Relation,
+    kind: MergeKind,
+    b_in: u64,
+    output: &Output,
+) -> Result<AlgoRun, AlgoError> {
+    let guard = SpillGuard::new(fb, None, output);
+    match merge_inner(fb, left, right, kind, b_in, output) {
+        Ok(run) => Ok(run),
+        Err(e) => {
+            guard.cleanup(fb);
+            Err(e)
+        }
+    }
+}
+
+fn merge_inner(
     fb: &mut FileBackend,
     left: &Relation,
     right: &Relation,
@@ -645,6 +849,22 @@ pub fn column_zip(
     b_in: u64,
     output: &Output,
 ) -> Result<AlgoRun, AlgoError> {
+    let guard = SpillGuard::new(fb, None, output);
+    match zip_inner(fb, columns, b_in, output) {
+        Ok(run) => Ok(run),
+        Err(e) => {
+            guard.cleanup(fb);
+            Err(e)
+        }
+    }
+}
+
+fn zip_inner(
+    fb: &mut FileBackend,
+    columns: &[Relation],
+    b_in: u64,
+    output: &Output,
+) -> Result<AlgoRun, AlgoError> {
     if columns.is_empty() {
         return Err(AlgoError::Unsupported("column zip needs columns"));
     }
@@ -683,6 +903,22 @@ pub fn column_zip(
 /// bounded cursor, one remembered row — resident memory is a single input
 /// buffer plus the output staging buffer.
 pub fn dedup_sorted(
+    fb: &mut FileBackend,
+    input: &Relation,
+    b_in: u64,
+    output: &Output,
+) -> Result<AlgoRun, AlgoError> {
+    let guard = SpillGuard::new(fb, None, output);
+    match dedup_inner(fb, input, b_in, output) {
+        Ok(run) => Ok(run),
+        Err(e) => {
+            guard.cleanup(fb);
+            Err(e)
+        }
+    }
+}
+
+fn dedup_inner(
     fb: &mut FileBackend,
     input: &Relation,
     b_in: u64,

@@ -5,7 +5,8 @@
 
 use crate::pool::{BufferPool, PolicyKind, PoolStats};
 use ocas_hierarchy::Hierarchy;
-use ocas_storage::{DeviceStats, FileId, StorageBackend, StorageError};
+use ocas_storage::fault::{FaultOp, FaultPlan, FaultState, RetryPolicy};
+use ocas_storage::{DeviceStats, FileId, RecoveryCounters, StorageBackend, StorageError};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -136,6 +137,16 @@ impl DeviceFile {
     }
 }
 
+/// Fault-injection state interposed on the backend's real syscall paths
+/// ([`FileBackend::read_into`], the write path, and allocation): the plan
+/// is consulted per attempt, transients are retried under the policy with
+/// backoff charged to the wall-accounted clock.
+#[derive(Debug)]
+struct Injector {
+    state: FaultState,
+    policy: RetryPolicy,
+}
+
 /// The real-I/O backend: files on disk, wall-clock accounting.
 ///
 /// Every device of the hierarchy's storage tree maps to one sparse backing
@@ -159,6 +170,13 @@ pub struct FileBackend {
     files: Vec<FileMeta>,
     clock_seconds: f64,
     scratch: Vec<u8>,
+    injector: Option<Injector>,
+    /// Degradations recorded via `note_degradation` (kept even without an
+    /// injector: genuine `Full` conditions degrade too).
+    recovery: RecoveryCounters,
+    /// Alternate spill device the out-of-core algorithms fail over to
+    /// when a spill device runs out of space.
+    spill_fallback: Option<String>,
 }
 
 impl std::fmt::Debug for FileBackend {
@@ -230,7 +248,9 @@ impl FileBackend {
             capacity.push(props.size);
             devices.push(DeviceFile {
                 name: props.name.clone(),
-                pool: BufferPool::new(file, page, cfg.frames, cfg.policy).with_direct(direct),
+                pool: BufferPool::new(file, page, cfg.frames, cfg.policy)
+                    .with_direct(direct)
+                    .with_label(&props.name),
                 stats: DeviceStats::default(),
                 position: 0,
                 obs_pool: PoolStats::default(),
@@ -248,12 +268,150 @@ impl FileBackend {
             files: Vec::new(),
             clock_seconds: 0.0,
             scratch: Vec::new(),
+            injector: None,
+            recovery: RecoveryCounters::default(),
+            spill_fallback: None,
         })
     }
 
     /// The backend's temp directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Interposes `plan` on the backend's real I/O paths, builder-style:
+    /// every charged read/write/alloc attempt consumes one per-device
+    /// request index and may fail per the plan; transients are retried
+    /// under `policy` with backoff charged to the clock.
+    pub fn with_faults(mut self, plan: FaultPlan, policy: RetryPolicy) -> FileBackend {
+        self.injector = Some(Injector {
+            state: FaultState::new(plan),
+            policy,
+        });
+        self
+    }
+
+    /// Names an alternate spill device for ENOSPC fail-over,
+    /// builder-style. The out-of-core algorithms consult this when a
+    /// spill allocation keeps failing after shrinking.
+    pub fn with_spill_fallback(mut self, device: &str) -> FileBackend {
+        self.spill_fallback = Some(device.to_string());
+        self
+    }
+
+    /// The configured ENOSPC fail-over device, if any.
+    pub fn spill_fallback(&self) -> Option<&str> {
+        self.spill_fallback.as_deref()
+    }
+
+    /// Total pages currently pinned across every device pool.
+    pub fn pinned_pages(&self) -> u64 {
+        self.devices.iter().map(|d| d.pool.pinned_frames()).sum()
+    }
+
+    /// Drops every pin on every device pool (error-path cleanup).
+    pub fn release_all_pins(&mut self) {
+        for d in &mut self.devices {
+            d.pool.unpin_all();
+        }
+    }
+
+    /// Runs one charged request of `len` bytes against device index `d`
+    /// through the fault-injection and retry machinery; a backend without
+    /// an injector goes straight to `attempt`. `attempt(backend, take)`
+    /// issues the real request for `take` bytes — short-transfer faults
+    /// re-issue with half the length (charging the partial work) before
+    /// failing the attempt transiently.
+    fn faulted_io<T>(
+        &mut self,
+        d: usize,
+        op: FaultOp,
+        len: u64,
+        mut attempt: impl FnMut(&mut FileBackend, u64) -> Result<T, StorageError>,
+    ) -> Result<T, StorageError> {
+        let Some(mut inj) = self.injector.take() else {
+            return attempt(self, len);
+        };
+        let device = self.devices[d].name.clone();
+        let mut retried = false;
+        let mut try_no = 0u32;
+        let out = loop {
+            let (idx, fault) =
+                inj.state
+                    .on_request(&device, op, ocas_obs::Clock::Wall, self.clock_seconds);
+            let transient = match fault {
+                None => match attempt(self, len) {
+                    Ok(v) => {
+                        if retried {
+                            inj.state.counters.retry_successes += 1;
+                        }
+                        break Ok(v);
+                    }
+                    Err(e) => break Err(e),
+                },
+                Some(ocas_storage::FaultKind::Latency(extra)) => {
+                    self.clock_seconds += extra;
+                    match attempt(self, len) {
+                        Ok(v) => {
+                            if retried {
+                                inj.state.counters.retry_successes += 1;
+                            }
+                            break Ok(v);
+                        }
+                        Err(e) => break Err(e),
+                    }
+                }
+                Some(ocas_storage::FaultKind::TornWriteBack) => {
+                    self.devices[d].pool.schedule_torn(0);
+                    match attempt(self, len) {
+                        Ok(v) => {
+                            if retried {
+                                inj.state.counters.retry_successes += 1;
+                            }
+                            break Ok(v);
+                        }
+                        Err(e) => break Err(e),
+                    }
+                }
+                Some(ocas_storage::FaultKind::NoSpace) => {
+                    break Err(StorageError::NoSpace {
+                        device: device.clone(),
+                        requested: len,
+                    });
+                }
+                Some(ocas_storage::FaultKind::ShortRead | ocas_storage::FaultKind::ShortWrite)
+                    if len > 1 && op != FaultOp::Alloc =>
+                {
+                    // Move (and charge) half the request, then fail this
+                    // attempt; the retry re-issues the full idempotent
+                    // request.
+                    if let Err(e) = attempt(self, len / 2) {
+                        break Err(e);
+                    }
+                    StorageError::Transient {
+                        device: device.clone(),
+                        op: op.name(),
+                        request: idx,
+                    }
+                }
+                Some(_) => StorageError::Transient {
+                    device: device.clone(),
+                    op: op.name(),
+                    request: idx,
+                },
+            };
+            try_no += 1;
+            if try_no >= inj.policy.max_attempts {
+                inj.state.counters.gave_up += 1;
+                break Err(transient);
+            }
+            self.clock_seconds += inj.policy.backoff_for(try_no - 1);
+            inj.state
+                .note_retry(&device, ocas_obs::Clock::Wall, self.clock_seconds);
+            retried = true;
+        };
+        self.injector = Some(inj);
+        out
     }
 
     fn device_idx(&self, device: &str) -> Result<usize, StorageError> {
@@ -263,12 +421,16 @@ impl FileBackend {
             .ok_or_else(|| StorageError::UnknownDevice(device.to_string()))
     }
 
-    fn meta(&self, file: FileId) -> &FileMeta {
-        &self.files[file.0]
+    /// Looks up a file's extent; a stale or foreign id is a typed error,
+    /// not a panic (the trait returns `Result` — callers propagate).
+    fn meta(&self, file: FileId) -> Result<&FileMeta, StorageError> {
+        self.files
+            .get(file.0)
+            .ok_or(StorageError::UnknownFile(file.0))
     }
 
     fn check(&self, file: FileId, offset: u64, len: u64) -> Result<(), StorageError> {
-        let m = self.meta(file);
+        let m = self.meta(file)?;
         if offset + len > m.len {
             return Err(StorageError::OutOfBounds {
                 file: file.0,
@@ -280,15 +442,33 @@ impl FileBackend {
     }
 
     /// Charged read of real bytes into `buf` — the data path the
-    /// out-of-core algorithms use.
+    /// out-of-core algorithms use. Subject to fault injection when the
+    /// backend was built [`with_faults`](FileBackend::with_faults).
     pub fn read_into(
         &mut self,
         file: FileId,
         offset: u64,
         buf: &mut [u8],
     ) -> Result<(), StorageError> {
+        if self.injector.is_none() {
+            return self.read_into_raw(file, offset, buf);
+        }
         self.check(file, offset, buf.len() as u64)?;
-        let m = self.meta(file).clone();
+        let d = self.meta(file)?.device;
+        self.faulted_io(d, FaultOp::Read, buf.len() as u64, |b, take| {
+            b.read_into_raw(file, offset, &mut buf[..take as usize])
+        })
+    }
+
+    /// The uninjected body of [`read_into`](FileBackend::read_into).
+    fn read_into_raw(
+        &mut self,
+        file: FileId,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<(), StorageError> {
+        self.check(file, offset, buf.len() as u64)?;
+        let m = self.meta(file)?.clone();
         let pos = m.offset + offset;
         let w0 = ocas_obs::wall_now();
         let t0 = Instant::now();
@@ -308,8 +488,25 @@ impl FileBackend {
     }
 
     fn write_impl(&mut self, file: FileId, offset: u64, data: &[u8]) -> Result<(), StorageError> {
+        if self.injector.is_none() {
+            return self.write_impl_raw(file, offset, data);
+        }
         self.check(file, offset, data.len() as u64)?;
-        let m = self.meta(file).clone();
+        let d = self.meta(file)?.device;
+        self.faulted_io(d, FaultOp::Write, data.len() as u64, |b, take| {
+            b.write_impl_raw(file, offset, &data[..take as usize])
+        })
+    }
+
+    /// The uninjected body of the charged write path.
+    fn write_impl_raw(
+        &mut self,
+        file: FileId,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<(), StorageError> {
+        self.check(file, offset, data.len() as u64)?;
+        let m = self.meta(file)?.clone();
         let pos = m.offset + offset;
         let w0 = ocas_obs::wall_now();
         let t0 = Instant::now();
@@ -381,7 +578,7 @@ impl FileBackend {
     /// back out after a measured run (no clock, no counters, no seek).
     pub fn peek(&mut self, file: FileId, offset: u64, buf: &mut [u8]) -> Result<(), StorageError> {
         self.check(file, offset, buf.len() as u64)?;
-        let m = self.meta(file).clone();
+        let m = self.meta(file)?.clone();
         self.devices[m.device].pool.read(m.offset + offset, buf)
     }
 
@@ -389,15 +586,17 @@ impl FileBackend {
     /// cannot evict them (hot block buffers).
     pub fn pin(&mut self, file: FileId, offset: u64, len: u64) -> Result<(), StorageError> {
         self.check(file, offset, len)?;
-        let m = self.meta(file).clone();
+        let m = self.meta(file)?.clone();
         self.devices[m.device].pool.pin(m.offset + offset, len)?;
         Ok(())
     }
 
-    /// Releases a [`pin`](FileBackend::pin).
+    /// Releases a [`pin`](FileBackend::pin). Cleanup path: a stale id is
+    /// ignored rather than panicking.
     pub fn unpin(&mut self, file: FileId, offset: u64, len: u64) {
-        let m = self.meta(file).clone();
-        self.devices[m.device].pool.unpin(m.offset + offset, len);
+        if let Some(m) = self.files.get(file.0).cloned() {
+            self.devices[m.device].pool.unpin(m.offset + offset, len);
+        }
     }
 
     /// Writes every pool's dirty pages back and syncs the files. In
@@ -453,9 +652,8 @@ impl Drop for FileBackend {
     }
 }
 
-impl StorageBackend for FileBackend {
-    fn alloc(&mut self, device: &str, len: u64) -> Result<FileId, StorageError> {
-        let d = self.device_idx(device)?;
+impl FileBackend {
+    fn alloc_raw(&mut self, d: usize, device: &str, len: u64) -> Result<FileId, StorageError> {
         if self.allocated[d] + len > self.capacity[d] {
             return Err(StorageError::Full(device.to_string()));
         }
@@ -468,6 +666,16 @@ impl StorageBackend for FileBackend {
             len,
         });
         Ok(id)
+    }
+}
+
+impl StorageBackend for FileBackend {
+    fn alloc(&mut self, device: &str, len: u64) -> Result<FileId, StorageError> {
+        let d = self.device_idx(device)?;
+        if self.injector.is_none() {
+            return self.alloc_raw(d, device, len);
+        }
+        self.faulted_io(d, FaultOp::Alloc, len, |b, _| b.alloc_raw(d, device, len))
     }
 
     fn read(&mut self, file: FileId, offset: u64, len: u64) -> Result<(), StorageError> {
@@ -515,7 +723,7 @@ impl StorageBackend for FileBackend {
 
     fn materialize(&mut self, file: FileId, offset: u64, data: &[u8]) -> Result<(), StorageError> {
         self.check(file, offset, data.len() as u64)?;
-        let m = self.meta(file).clone();
+        let m = self.meta(file)?.clone();
         // Through the pool (cache coherence) but uncharged and without
         // disturbing the sequential-position seek accounting.
         self.devices[m.device].pool.write(m.offset + offset, data)
@@ -523,6 +731,13 @@ impl StorageBackend for FileBackend {
 
     fn charge_cpu(&mut self, _seconds: f64) {
         // Real backends measure wall time; modeled CPU would double-count.
+    }
+
+    fn charge_penalty(&mut self, seconds: f64) {
+        // Fault-handling penalties (backoff, latency spikes) land on the
+        // I/O-accounted clock even on the real backend — they model time
+        // the device was unavailable, not CPU work.
+        self.clock_seconds += seconds;
     }
 
     fn clock(&self) -> f64 {
@@ -534,11 +749,14 @@ impl StorageBackend for FileBackend {
     }
 
     fn len(&self, file: FileId) -> u64 {
-        self.meta(file).len
+        self.files.get(file.0).map(|m| m.len).unwrap_or(0)
     }
 
     fn device_of(&self, file: FileId) -> &str {
-        &self.devices[self.meta(file).device].name
+        match self.files.get(file.0) {
+            Some(m) => &self.devices[m.device].name,
+            None => "?",
+        }
     }
 
     fn device_stats(&self, device: &str) -> Option<DeviceStats> {
@@ -555,6 +773,43 @@ impl StorageBackend for FileBackend {
 
     fn watermark(&self, device: &str) -> Option<u64> {
         self.device_by_name.get(device).map(|d| self.allocated[*d])
+    }
+
+    fn recovery_counters(&self) -> Option<RecoveryCounters> {
+        let mut c = self.recovery;
+        if let Some(inj) = &self.injector {
+            c.merge(&inj.state.counters);
+        }
+        for d in &self.devices {
+            c.corrupt_pages_detected += d.pool.stats().checksum_failures;
+        }
+        if c == RecoveryCounters::default() && self.injector.is_none() {
+            return None;
+        }
+        Some(c)
+    }
+
+    fn note_degradation(&mut self, device: &str, what: &'static str) {
+        self.recovery.note_degradation(what);
+        if ocas_obs::enabled() {
+            ocas_obs::counter(
+                ocas_obs::Clock::Wall,
+                &format!("degrade:{device}"),
+                what,
+                self.clock_seconds,
+                1.0,
+            );
+        }
+    }
+
+    fn schedule_torn_write_back(&mut self, device: &str, at: u64) -> bool {
+        match self.device_by_name.get(device) {
+            Some(&d) => {
+                self.devices[d].pool.schedule_torn(at);
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -640,6 +895,105 @@ mod tests {
         b.alloc("HDD", 1 << 20).unwrap();
         b.truncate_device("HDD", mark).unwrap();
         assert_eq!(StorageBackend::watermark(&b, "HDD"), Some(mark));
+    }
+
+    #[test]
+    fn unknown_file_is_typed_not_panic() {
+        let mut b = backend();
+        let stale = ocas_storage::FileId(999);
+        assert!(matches!(
+            b.read_into(stale, 0, &mut [0u8; 8]),
+            Err(StorageError::UnknownFile(999))
+        ));
+        assert!(matches!(
+            b.write_bytes(stale, 0, &[0u8; 8]),
+            Err(StorageError::UnknownFile(999))
+        ));
+        assert_eq!(StorageBackend::len(&b, stale), 0);
+        assert_eq!(b.device_of(stale), "?");
+        b.unpin(stale, 0, 8); // cleanup path: silently ignored
+    }
+
+    #[test]
+    fn injected_transient_retries_on_real_files() {
+        use ocas_storage::{FaultKind, FaultOp, FaultPlan, RetryPolicy};
+        let h = presets::hdd_ram(1 << 25);
+        let plan = FaultPlan::new().with("HDD", FaultOp::Write, 1, FaultKind::Transient);
+        let mut b = FileBackend::from_hierarchy(&h, PoolConfig::default())
+            .unwrap()
+            .with_faults(plan, RetryPolicy::default());
+        let f = b.alloc("HDD", 4096).unwrap();
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 13) as u8).collect();
+        // alloc = HDD request 0; this write fires the fault, retries, and
+        // the data still lands intact.
+        b.write_bytes(f, 0, &data).unwrap();
+        let mut buf = vec![0u8; 4096];
+        b.read_into(f, 0, &mut buf).unwrap();
+        assert_eq!(buf, data);
+        let c = b.recovery_counters().unwrap();
+        assert_eq!(c.transient_faults, 1);
+        assert_eq!(c.retry_successes, 1);
+        // Backoff was charged to the wall-accounted clock.
+        assert!(b.clock() >= 0.001);
+    }
+
+    #[test]
+    fn injected_no_space_is_typed_and_leaves_capacity() {
+        use ocas_storage::{FaultKind, FaultOp, FaultPlan, RetryPolicy};
+        let h = presets::hdd_ram(1 << 25);
+        let plan = FaultPlan::new().with("HDD", FaultOp::Alloc, 1, FaultKind::NoSpace);
+        let mut b = FileBackend::from_hierarchy(&h, PoolConfig::default())
+            .unwrap()
+            .with_faults(plan, RetryPolicy::default());
+        b.alloc("HDD", 1024).unwrap();
+        let before = StorageBackend::watermark(&b, "HDD").unwrap();
+        let err = b.alloc("HDD", 2048).unwrap_err();
+        assert!(
+            matches!(err, StorageError::NoSpace { ref device, requested }
+                if device == "HDD" && requested == 2048)
+        );
+        assert_eq!(StorageBackend::watermark(&b, "HDD"), Some(before));
+        // The next (degraded) attempt consumes a later index and works.
+        b.alloc("HDD", 2048).unwrap();
+    }
+
+    #[test]
+    fn injected_torn_write_back_detected_end_to_end() {
+        use ocas_storage::{FaultKind, FaultOp, FaultPlan, RetryPolicy};
+        let h = presets::hdd_ram(1 << 25);
+        // Small pool so the torn page is evicted and must be re-read.
+        let cfg = PoolConfig {
+            frames: 2,
+            ..PoolConfig::default()
+        };
+        let plan = FaultPlan::new().with("HDD", FaultOp::Write, 1, FaultKind::TornWriteBack);
+        let mut b = FileBackend::from_hierarchy(&h, cfg)
+            .unwrap()
+            .with_faults(plan, RetryPolicy::default());
+        let page = 4096u64;
+        let f = b.alloc("HDD", 8 * page).unwrap();
+        let mut data = vec![0x11u8; page as usize];
+        data[page as usize / 2..].fill(0x22);
+        // Request 1 schedules the tear; the write itself succeeds.
+        b.write_bytes(f, 0, &data).unwrap();
+        // Push the page out through a 2-frame pool and pull it back in.
+        for i in 1..6u64 {
+            b.write_bytes(f, i * page, &data).unwrap();
+        }
+        let mut buf = vec![0u8; page as usize];
+        let got = (0..8u64)
+            .map(|i| b.read_into(f, i * page, &mut buf))
+            .find(|r| r.is_err());
+        let err = got
+            .expect("torn page must surface on some re-read")
+            .unwrap_err();
+        assert!(
+            matches!(err, StorageError::CorruptPage { ref device, .. } if device == "HDD"),
+            "{err:?}"
+        );
+        let c = b.recovery_counters().unwrap();
+        assert_eq!(c.torn_write_backs, 1);
+        assert!(c.corrupt_pages_detected >= 1);
     }
 
     #[test]

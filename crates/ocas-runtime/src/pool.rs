@@ -9,9 +9,21 @@
 //! the backing file is the device.
 
 use ocas_storage::StorageError;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
+
+/// FNV-1a over a page's bytes — the per-page write-back checksum. Cheap,
+/// deterministic, and sensitive to the half-page tears fault injection
+/// produces.
+fn page_checksum(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// Cumulative pool statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -24,6 +36,11 @@ pub struct PoolStats {
     pub evictions: u64,
     /// Dirty pages written back to the file.
     pub write_backs: u64,
+    /// Write-backs deliberately torn by fault injection (half the page
+    /// persisted, full-intent checksum recorded).
+    pub torn_injected: u64,
+    /// Checksum mismatches detected when re-loading a page from the file.
+    pub checksum_failures: u64,
 }
 
 /// Chooses which resident page to evict. Implementations see frames by
@@ -217,6 +234,16 @@ pub struct BufferPool {
     /// and lengths; page offsets are aligned by construction).
     direct: bool,
     staging: Vec<u8>,
+    /// Device name, for typed error context (`CorruptPage`).
+    label: String,
+    /// Checksum of the *intended* content of every page ever written back,
+    /// verified when the page is next loaded from the file — the detector
+    /// for torn write-backs.
+    checksums: BTreeMap<u64, u64>,
+    /// Absolute write-back indices scheduled to tear (fault injection):
+    /// those write-backs persist only the first half of the page while
+    /// still recording the full-intent checksum.
+    torn: BTreeSet<u64>,
 }
 
 impl std::fmt::Debug for BufferPool {
@@ -248,7 +275,16 @@ impl BufferPool {
             stats: PoolStats::default(),
             direct: false,
             staging: Vec::new(),
+            label: String::new(),
+            checksums: BTreeMap::new(),
+            torn: BTreeSet::new(),
         }
+    }
+
+    /// Names the pool's device for typed error context, builder-style.
+    pub fn with_label(mut self, label: &str) -> BufferPool {
+        self.label = label.to_string();
+        self
     }
 
     /// Marks the backing file as opened with `O_DIRECT`, builder-style:
@@ -324,6 +360,19 @@ impl BufferPool {
                 }
             }
         }
+        // A page that was ever written back must match its recorded
+        // checksum: a mismatch means the write-back was torn (or the file
+        // corrupted behind the pool) and must surface as a typed error
+        // rather than a wrong answer. The page is not admitted.
+        if let Some(&want) = self.checksums.get(&page) {
+            if page_checksum(&data) != want {
+                self.stats.checksum_failures += 1;
+                return Err(StorageError::CorruptPage {
+                    device: self.label.clone(),
+                    page,
+                });
+            }
+        }
         let frame = if self.frames.len() < self.capacity {
             self.frames.push(Frame {
                 page,
@@ -361,22 +410,49 @@ impl BufferPool {
             return Ok(());
         }
         let page = self.frames[frame].page;
-        self.file
-            .seek(SeekFrom::Start(page * self.page_bytes as u64))
-            .map_err(io_err)?;
-        if self.direct {
-            let range = self.staging_range();
-            self.staging[range.clone()].copy_from_slice(&self.frames[frame].data);
-            let staged = &self.staging[range];
-            self.file.write_all(staged).map_err(io_err)?;
+        // The checksum records the *intent* — the full frame content —
+        // even when injection tears the physical write below, so the tear
+        // is detected when the page is next loaded.
+        self.checksums
+            .insert(page, page_checksum(&self.frames[frame].data));
+        let tear = self.torn.remove(&self.stats.write_backs);
+        let take = if tear {
+            self.stats.torn_injected += 1;
+            // Direct I/O needs 512-aligned lengths; align the tear down
+            // (possibly to zero — a fully lost write-back).
+            if self.direct {
+                self.page_bytes / 2 / 512 * 512
+            } else {
+                self.page_bytes / 2
+            }
         } else {
+            self.page_bytes
+        };
+        if take > 0 {
             self.file
-                .write_all(&self.frames[frame].data)
+                .seek(SeekFrom::Start(page * self.page_bytes as u64))
                 .map_err(io_err)?;
+            if self.direct {
+                let range = self.staging_range();
+                self.staging[range.clone()].copy_from_slice(&self.frames[frame].data);
+                let staged = &self.staging[range.start..range.start + take];
+                self.file.write_all(staged).map_err(io_err)?;
+            } else {
+                self.file
+                    .write_all(&self.frames[frame].data[..take])
+                    .map_err(io_err)?;
+            }
         }
         self.frames[frame].dirty = false;
         self.stats.write_backs += 1;
         Ok(())
+    }
+
+    /// Schedules the `at`-th *upcoming* write-back to tear: it persists
+    /// only the first half of its page while recording the full-intent
+    /// checksum, so the corruption is silent until the page is re-read.
+    pub fn schedule_torn(&mut self, at: u64) {
+        self.torn.insert(self.stats.write_backs + at);
     }
 
     /// Reads `buf.len()` bytes at `offset` through the pool.
@@ -414,14 +490,25 @@ impl BufferPool {
     }
 
     /// Pins the pages covering `[offset, offset + len)`: they stay resident
-    /// until unpinned. Returns the number of pages pinned.
+    /// until unpinned. Returns the number of pages pinned. On failure no
+    /// page stays pinned — pins taken before the failing page are rolled
+    /// back, so an error path cannot leak pinned frames.
     pub fn pin(&mut self, offset: u64, len: u64) -> Result<u64, StorageError> {
         let pb = self.page_bytes as u64;
         let first = offset / pb;
         let last = (offset + len.max(1) - 1) / pb;
         for page in first..=last {
-            let f = self.load_page(page)?;
-            self.frames[f].pins += 1;
+            match self.load_page(page) {
+                Ok(f) => self.frames[f].pins += 1,
+                Err(e) => {
+                    for done in first..page {
+                        if let Some(&f) = self.table.get(&done) {
+                            self.frames[f].pins = self.frames[f].pins.saturating_sub(1);
+                        }
+                    }
+                    return Err(e);
+                }
+            }
         }
         Ok(last - first + 1)
     }
@@ -444,6 +531,19 @@ impl BufferPool {
             self.write_back(f)?;
         }
         self.file.sync_data().map_err(io_err)
+    }
+
+    /// Number of frames currently holding at least one pin.
+    pub fn pinned_frames(&self) -> u64 {
+        self.frames.iter().filter(|f| f.pins > 0).count() as u64
+    }
+
+    /// Drops every pin (error-path cleanup: RAII guards call this so a
+    /// failed run can never leave the pool jammed).
+    pub fn unpin_all(&mut self) {
+        for f in &mut self.frames {
+            f.pins = 0;
+        }
     }
 }
 
@@ -571,6 +671,69 @@ mod tests {
         let jam = p.read(4096, &mut buf);
         assert!(matches!(jam, Err(StorageError::Io(_))), "{jam:?}");
         p.unpin(0, 64);
+        assert!(p.read(4096, &mut buf).is_ok());
+    }
+
+    #[test]
+    fn torn_write_back_detected_as_corrupt_page() {
+        let mut p = temp_pool(2, PolicyKind::Lru).with_label("HDD");
+        // Dirty page 0 with content whose halves differ, tear its
+        // write-back, then force it out and back in.
+        let mut content = [0xAAu8; 64];
+        content[32..].fill(0xBB);
+        p.write(0, &content).unwrap();
+        p.schedule_torn(0);
+        let mut buf = [0u8; 64];
+        p.read(64, &mut buf).unwrap();
+        p.read(128, &mut buf).unwrap(); // evicts page 0, torn write-back
+        assert_eq!(p.stats().torn_injected, 1);
+        let err = p.read(0, &mut buf).unwrap_err();
+        assert!(
+            matches!(err, StorageError::CorruptPage { ref device, page }
+                if device == "HDD" && page == 0),
+            "{err:?}"
+        );
+        assert_eq!(p.stats().checksum_failures, 1);
+    }
+
+    #[test]
+    fn clean_write_backs_verify_on_reload() {
+        let mut p = temp_pool(2, PolicyKind::Lru).with_label("HDD");
+        let content = [0x5Au8; 64];
+        p.write(0, &content).unwrap();
+        let mut buf = [0u8; 64];
+        p.read(64, &mut buf).unwrap();
+        p.read(128, &mut buf).unwrap(); // evicts page 0 (clean write-back)
+        p.read(0, &mut buf).unwrap(); // reload verifies the checksum
+        assert_eq!(buf, content);
+        assert_eq!(p.stats().checksum_failures, 0);
+    }
+
+    #[test]
+    fn failed_pin_rolls_back_partial_pins() {
+        // 2 frames, one already pinned: pinning a 2-page span pins its
+        // first page, then fails loading the second (every frame pinned)
+        // — the partial pin must be rolled back.
+        let mut p = temp_pool(2, PolicyKind::Lru);
+        p.pin(0, 64).unwrap();
+        assert_eq!(p.pinned_frames(), 1);
+        let err = p.pin(64, 128);
+        assert!(err.is_err());
+        // Only the original pin remains; the failed span left none.
+        assert_eq!(p.pinned_frames(), 1, "failed pin leaked a pin");
+        p.unpin(0, 64);
+        assert_eq!(p.pinned_frames(), 0);
+    }
+
+    #[test]
+    fn unpin_all_clears_a_jam() {
+        let mut p = temp_pool(2, PolicyKind::Lru);
+        p.pin(0, 64).unwrap();
+        p.pin(64, 64).unwrap();
+        let mut buf = [0u8; 64];
+        assert!(p.read(4096, &mut buf).is_err());
+        p.unpin_all();
+        assert_eq!(p.pinned_frames(), 0);
         assert!(p.read(4096, &mut buf).is_ok());
     }
 

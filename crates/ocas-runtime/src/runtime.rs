@@ -6,7 +6,9 @@ use crate::backend::{FileBackend, PoolConfig};
 use crate::pool::PoolStats;
 use ocas_engine::{CpuModel, ExecError, Executor, Mode, Plan, RelSpec, Relation, RowBuf};
 use ocas_hierarchy::Hierarchy;
-use ocas_storage::{DeviceStats, StorageBackend, StorageError, StorageSim};
+use ocas_storage::{
+    DeviceStats, FaultPlan, RecoveryCounters, RetryPolicy, StorageBackend, StorageError, StorageSim,
+};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -80,6 +82,9 @@ pub struct RealReport {
     /// it). The nightly CI disk-bounded job asserts this so the fallback
     /// path cannot silently become the only path exercised.
     pub direct_io: bool,
+    /// Fault-injection and recovery counters of the real execution
+    /// (`None` when the run neither injected faults nor degraded).
+    pub recovery: Option<RecoveryCounters>,
 }
 
 impl RealReport {
@@ -98,6 +103,13 @@ pub struct Runtime {
     pub pool: PoolConfig,
     /// Where to put the temp files (`None` = system temp dir).
     pub dir: Option<PathBuf>,
+    /// Fault plan + retry policy interposed on the real backend's I/O
+    /// (`None` = clean runs). The simulated twin always runs clean: it is
+    /// the oracle the faulted run is compared against.
+    pub faults: Option<(FaultPlan, RetryPolicy)>,
+    /// Alternate spill device the out-of-core algorithms fail over to on
+    /// capacity exhaustion.
+    pub spill_fallback: Option<String>,
 }
 
 impl Runtime {
@@ -107,6 +119,8 @@ impl Runtime {
             hierarchy,
             pool: PoolConfig::default(),
             dir: None,
+            faults: None,
+            spill_fallback: None,
         }
     }
 
@@ -116,11 +130,32 @@ impl Runtime {
         self
     }
 
+    /// Interposes a fault plan (with its retry policy) on the real
+    /// backend of every run, builder style.
+    pub fn with_faults(mut self, plan: FaultPlan, policy: RetryPolicy) -> Runtime {
+        self.faults = Some((plan, policy));
+        self
+    }
+
+    /// Configures the alternate spill device for ENOSPC failover,
+    /// builder style.
+    pub fn with_spill_fallback(mut self, device: &str) -> Runtime {
+        self.spill_fallback = Some(device.to_string());
+        self
+    }
+
     fn backend(&self) -> Result<FileBackend, StorageError> {
-        match &self.dir {
-            Some(d) => FileBackend::in_dir(&self.hierarchy, self.pool, d, false),
-            None => FileBackend::from_hierarchy(&self.hierarchy, self.pool),
+        let mut fb = match &self.dir {
+            Some(d) => FileBackend::in_dir(&self.hierarchy, self.pool, d, false)?,
+            None => FileBackend::from_hierarchy(&self.hierarchy, self.pool)?,
+        };
+        if let Some((plan, policy)) = &self.faults {
+            fb = fb.with_faults(plan.clone(), *policy);
         }
+        if let Some(dev) = &self.spill_fallback {
+            fb = fb.with_spill_fallback(dev);
+        }
+        Ok(fb)
     }
 
     /// Dispatches the native out-of-core implementation for `plan`, if one
@@ -261,6 +296,7 @@ impl Runtime {
         let real_devices = fb.all_device_stats();
         let pools = fb.pool_stats();
         let direct_io = fb.any_direct();
+        let recovery = fb.recovery_counters();
         drop(fb);
 
         // Simulated twin: identical plan, identical data.
@@ -291,6 +327,7 @@ impl Runtime {
             sim_devices,
             pools,
             direct_io,
+            recovery,
         })
     }
 }

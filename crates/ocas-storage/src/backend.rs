@@ -7,6 +7,7 @@
 //! (the property the cross-backend equivalence tests pin down).
 
 use crate::device::DeviceStats;
+use crate::fault::RecoveryCounters;
 use crate::manager::{FileId, StorageError, StorageSim};
 
 /// A clocked storage layer: named devices, extent allocation, read/write
@@ -79,6 +80,32 @@ pub trait StorageBackend {
 
     /// Current allocation watermark of a device.
     fn watermark(&self, device: &str) -> Option<u64>;
+
+    /// Charges fault-handling seconds (retry backoff, latency spikes) to
+    /// the clock. Defaults to [`charge_cpu`](StorageBackend::charge_cpu);
+    /// real backends override so the penalty lands on their I/O clock.
+    fn charge_penalty(&mut self, seconds: f64) {
+        self.charge_cpu(seconds);
+    }
+
+    /// Fault/recovery counters this backend accumulated, if it injects
+    /// or recovers from faults (`None` for plain backends).
+    fn recovery_counters(&self) -> Option<RecoveryCounters> {
+        None
+    }
+
+    /// Records a degradation event on `device` (`"shrink"` /
+    /// `"failover"`) for reporting. No-op by default.
+    fn note_degradation(&mut self, _device: &str, _what: &'static str) {}
+
+    /// Asks the backend to tear the `at`-th upcoming buffer-pool
+    /// write-back on `device` (half the page persists; the recorded
+    /// checksum keeps the full intent, so re-read detects the tear).
+    /// Returns `false` where unsupported — the simulator holds no page
+    /// data to tear.
+    fn schedule_torn_write_back(&mut self, _device: &str, _at: u64) -> bool {
+        false
+    }
 }
 
 impl StorageBackend for StorageSim {

@@ -19,9 +19,11 @@
 pub mod backend;
 pub mod cache;
 pub mod device;
+pub mod fault;
 pub mod manager;
 
 pub use backend::StorageBackend;
 pub use cache::{CacheSim, CacheStats};
 pub use device::{DeviceSim, DeviceStats, FlashSim, HddSim, RamSim};
+pub use fault::{FaultKind, FaultOp, FaultPlan, FaultSpec, Faulted, RecoveryCounters, RetryPolicy};
 pub use manager::{FileId, StorageError, StorageSim};

@@ -34,6 +34,50 @@ pub enum StorageError {
     Full(String),
     /// Operating-system I/O failure (real backends only).
     Io(String),
+    /// Unknown file handle (stale or foreign [`FileId`]).
+    UnknownFile(usize),
+    /// Transient I/O failure (an injected or real `EIO`/short transfer).
+    /// Retryable: re-issuing the same request may succeed.
+    Transient {
+        /// Device the request targeted.
+        device: String,
+        /// Operation kind (`"read"`, `"write"`, `"alloc"`).
+        op: &'static str,
+        /// Per-device request index at which the failure fired.
+        request: u64,
+    },
+    /// No space on a device for a specific allocation (`ENOSPC`).
+    /// Not retryable, but degradable: callers may shrink the request or
+    /// fail over to another spill device.
+    NoSpace {
+        /// Device that ran out of space.
+        device: String,
+        /// Bytes the failed allocation asked for.
+        requested: u64,
+    },
+    /// A buffer-pool page failed its checksum on re-read — a torn or
+    /// corrupted write-back was detected before it could become a wrong
+    /// answer.
+    CorruptPage {
+        /// Device whose backing file holds the page.
+        device: String,
+        /// Page index within the device file.
+        page: u64,
+    },
+}
+
+impl StorageError {
+    /// True for errors where re-issuing the same request may succeed
+    /// (the retry loop's classification).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::Transient { .. })
+    }
+
+    /// True for capacity-style errors that degradation (shrink spill
+    /// units / fail over to an alternate device) can handle.
+    pub fn is_capacity(&self) -> bool {
+        matches!(self, StorageError::Full(_) | StorageError::NoSpace { .. })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -45,6 +89,26 @@ impl fmt::Display for StorageError {
             }
             StorageError::Full(d) => write!(f, "device `{d}` is full"),
             StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::UnknownFile(id) => write!(f, "unknown file handle {id}"),
+            StorageError::Transient {
+                device,
+                op,
+                request,
+            } => {
+                write!(
+                    f,
+                    "transient I/O failure: {op} request {request} on `{device}`"
+                )
+            }
+            StorageError::NoSpace { device, requested } => {
+                write!(f, "no space on `{device}` for {requested} bytes")
+            }
+            StorageError::CorruptPage { device, page } => {
+                write!(
+                    f,
+                    "checksum mismatch on page {page} of `{device}` (torn write-back detected)"
+                )
+            }
         }
     }
 }

@@ -1,0 +1,114 @@
+//! The chaos suite: synthesized Table 1 programs under randomized (but
+//! seeded, so replayable) fault plans, on both the real file backend and
+//! the device simulator. Every run must respect the robustness
+//! trichotomy — output bit-identical to a clean run, or a typed error —
+//! and leave its backend clean: no panic, no leaked temp dir, no pinned
+//! pages. 4 workloads × 26 seeds × 2 backends = 208 faulted executions.
+
+use ocas::chaos::{self, ChaosOutcome, ChaosRun, ChaosWorkload};
+use std::sync::OnceLock;
+
+/// Synthesis runs once; the four test functions share the workloads and
+/// run in parallel.
+fn workloads() -> &'static [ChaosWorkload] {
+    static W: OnceLock<Vec<ChaosWorkload>> = OnceLock::new();
+    W.get_or_init(|| chaos::table1_workloads().expect("synthesis + lowering + clean oracles"))
+}
+
+const SEEDS_PER_WORKLOAD: u64 = 26;
+
+fn check(run: &ChaosRun) {
+    assert_ne!(
+        run.outcome,
+        ChaosOutcome::WrongAnswer,
+        "{}/{} seed {}: faulted run completed with a wrong answer",
+        run.workload,
+        run.backend,
+        run.fault_seed
+    );
+    assert!(
+        !run.leaked_dir,
+        "{}/{} seed {}: temp dir leaked",
+        run.workload, run.backend, run.fault_seed
+    );
+    assert_eq!(
+        run.pinned_pages, 0,
+        "{}/{} seed {}: pinned pages leaked",
+        run.workload, run.backend, run.fault_seed
+    );
+}
+
+/// Runs one workload through its full seed range on both backends and
+/// asserts the trichotomy plus suite-level coverage: faults actually
+/// fired, and at least one run absorbed its faults completely.
+fn chaos_workload(name: &str, seed_base: u64) {
+    let w = workloads()
+        .iter()
+        .find(|w| w.name == name)
+        .expect("workload present");
+    let mut runs = Vec::new();
+    for i in 0..SEEDS_PER_WORKLOAD {
+        let seed = seed_base + i;
+        let file = chaos::run_file(w, seed);
+        check(&file);
+        let sim = chaos::run_sim(w, seed);
+        check(&sim);
+        runs.push(file);
+        runs.push(sim);
+    }
+    let s = chaos::summarize(&runs);
+    assert!(s.clean());
+    assert_eq!(s.runs, 2 * SEEDS_PER_WORKLOAD);
+    assert!(
+        s.counters.faults_injected > 0,
+        "{name}: no fault ever fired — the suite tested nothing"
+    );
+    assert!(
+        s.identical > 0,
+        "{name}: no run ever matched the clean oracle"
+    );
+}
+
+#[test]
+fn chaos_synthesized_external_sort() {
+    chaos_workload("sort", 1_000);
+}
+
+#[test]
+fn chaos_synthesized_grace_join() {
+    chaos_workload("grace", 2_000);
+}
+
+#[test]
+fn chaos_synthesized_multiset_union() {
+    chaos_workload("union", 3_000);
+}
+
+#[test]
+fn chaos_synthesized_dedup() {
+    chaos_workload("dedup", 4_000);
+}
+
+/// Across the whole suite, the error leg of the trichotomy is exercised
+/// too: some seeds must surface typed errors (ENOSPC on a non-degradable
+/// allocation, exhausted retries, torn pages caught by checksums) — and
+/// every one of them is a typed error string, never a panic.
+#[test]
+fn chaos_suite_exercises_typed_errors() {
+    let mut typed = 0u64;
+    for w in workloads() {
+        for seed in 0..8 {
+            for run in [
+                chaos::run_file(w, 5_000 + seed),
+                chaos::run_sim(w, 5_000 + seed),
+            ] {
+                check(&run);
+                if let ChaosOutcome::TypedError(e) = &run.outcome {
+                    assert!(!e.is_empty());
+                    typed += 1;
+                }
+            }
+        }
+    }
+    assert!(typed > 0, "no fault seed ever produced a typed error");
+}
